@@ -1,0 +1,210 @@
+package slim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Adversarial-input tests: the pipeline must stay finite, deterministic
+// and crash-free on degenerate data a real feed can produce.
+
+func TestLinkAllRecordsSameTimestamp(t *testing.T) {
+	var e, i Dataset
+	for k := 0; k < 10; k++ {
+		id := EntityID(string(rune('a' + k)))
+		for n := 0; n < 8; n++ {
+			e.Records = append(e.Records, NewRecord("e"+id, 37+float64(k)*0.3, -122, 1000))
+			i.Records = append(i.Records, NewRecord("i"+id, 37+float64(k)*0.3, -122, 1000))
+		}
+	}
+	res, err := LinkDatasets(e, i, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Links {
+		if math.IsNaN(l.Score) || math.IsInf(l.Score, 0) {
+			t.Fatalf("degenerate score %v", l)
+		}
+	}
+}
+
+func TestLinkDuplicateRecords(t *testing.T) {
+	var e, i Dataset
+	rec := NewRecord("u", 37.77, -122.42, 1000)
+	for n := 0; n < 50; n++ { // the same record 50 times
+		e.Records = append(e.Records, rec)
+	}
+	recI := rec
+	recI.Entity = "v"
+	for n := 0; n < 50; n++ {
+		i.Records = append(i.Records, recI)
+	}
+	// A second pair so IDF is not all-zero.
+	for n := 0; n < 10; n++ {
+		e.Records = append(e.Records, NewRecord("u2", 48.85, 2.35, int64(1000+n*900)))
+		i.Records = append(i.Records, NewRecord("v2", 48.85, 2.35, int64(1000+n*900)))
+	}
+	res, err := LinkDatasets(e, i, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range res.Matched {
+		if l.U == "u" && l.V == "v" {
+			found = true
+			if math.IsNaN(l.Score) || math.IsInf(l.Score, 0) {
+				t.Fatalf("degenerate score for duplicated records: %g", l.Score)
+			}
+		}
+	}
+	if !found {
+		t.Error("identical duplicated records should still match")
+	}
+}
+
+func TestLinkSingleEntityPerSide(t *testing.T) {
+	var e, i Dataset
+	for n := 0; n < 10; n++ {
+		e.Records = append(e.Records, NewRecord("u", 37.77, -122.42, int64(n*900)))
+		i.Records = append(i.Records, NewRecord("v", 37.77, -122.42, int64(n*900)))
+	}
+	res, err := LinkDatasets(e, i, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With |U|=1 the IDF of every bin is 0, so the score is 0 and no edge
+	// forms — the formula's behavior, not a crash.
+	if len(res.Matched) > 1 {
+		t.Errorf("at most one match possible, got %d", len(res.Matched))
+	}
+}
+
+func TestLinkNegativeAndHugeTimestamps(t *testing.T) {
+	var e, i Dataset
+	times := []int64{-1e9, -900, 0, 900, 1e10}
+	for k := 0; k < 4; k++ {
+		id := string(rune('a' + k))
+		for _, ts := range times {
+			e.Records = append(e.Records, NewRecord(EntityID("e"+id), 37+float64(k)*0.4, -122, ts))
+			i.Records = append(i.Records, NewRecord(EntityID("i"+id), 37+float64(k)*0.4, -122, ts+30))
+		}
+		// pad over the MinRecords filter
+		for n := 0; n < 3; n++ {
+			e.Records = append(e.Records, NewRecord(EntityID("e"+id), 37+float64(k)*0.4, -122, int64(2000+n*900)))
+			i.Records = append(i.Records, NewRecord(EntityID("i"+id), 37+float64(k)*0.4, -122, int64(2030+n*900)))
+		}
+	}
+	res, err := LinkDatasets(e, i, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Matched {
+		if math.IsNaN(l.Score) || math.IsInf(l.Score, 0) {
+			t.Fatalf("degenerate score with extreme timestamps: %v", l)
+		}
+	}
+}
+
+func TestLinkPoleAndAntimeridianRecords(t *testing.T) {
+	var e, i Dataset
+	spots := []LatLng{
+		{Lat: 89.99, Lng: 0},
+		{Lat: -89.99, Lng: 100},
+		{Lat: 0, Lng: 179.999},
+		{Lat: 0, Lng: -179.999},
+	}
+	for k, s := range spots {
+		id := string(rune('a' + k))
+		for n := 0; n < 8; n++ {
+			e.Records = append(e.Records, Record{Entity: EntityID("e" + id), LatLng: s, Unix: int64(n * 900)})
+			i.Records = append(i.Records, Record{Entity: EntityID("i" + id), LatLng: s, Unix: int64(n*900 + 60)})
+		}
+	}
+	res, err := LinkDatasets(e, i, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 0
+	for _, l := range res.Matched {
+		if l.U[1:] == l.V[1:] {
+			m++
+		}
+	}
+	if m < 3 {
+		t.Errorf("polar/antimeridian entities should still match: %d/4 (matched %v)", m, res.Matched)
+	}
+}
+
+func TestLinkQuickNeverPanics(t *testing.T) {
+	cfg := Defaults()
+	cfg.Threshold = ThresholdOtsu // cheapest
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(prefix string) Dataset {
+			var d Dataset
+			nEnt := 1 + r.Intn(5)
+			for k := 0; k < nEnt; k++ {
+				id := EntityID(prefix + string(rune('a'+k)))
+				nRec := r.Intn(12)
+				for n := 0; n < nRec; n++ {
+					d.Records = append(d.Records, NewRecord(id,
+						r.Float64()*180-90, r.Float64()*360-180,
+						int64(r.Intn(86400))))
+				}
+			}
+			return d
+		}
+		res, err := LinkDatasets(mk("e"), mk("i"), cfg)
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Links {
+			if math.IsNaN(l.Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMonotoneInSharedEvidence(t *testing.T) {
+	// More co-occurring windows must not lower the score (with
+	// normalization off so history size does not confound).
+	cfg := Defaults()
+	cfg.Ablation.DisableNorm = true
+	build := func(shared int) float64 {
+		var e, i Dataset
+		for n := 0; n < 12; n++ {
+			e.Records = append(e.Records, NewRecord("u", 37.77, -122.42, int64(n*900)))
+		}
+		for n := 0; n < shared; n++ {
+			i.Records = append(i.Records, NewRecord("v", 37.77, -122.42, int64(n*900+30)))
+		}
+		for n := shared; n < 12; n++ { // keep v's record count constant
+			i.Records = append(i.Records, NewRecord("v", 37.77, -122.42, int64((n+100)*900)))
+		}
+		// fillers for IDF
+		for n := 0; n < 12; n++ {
+			e.Records = append(e.Records, NewRecord("zf", 35.68, 139.65, int64(n*900)))
+			i.Records = append(i.Records, NewRecord("zf", 35.68, 139.65, int64(n*900)))
+		}
+		lk, err := NewLinker(e, i, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lk.Score("u", "v")
+	}
+	prev := -math.MaxFloat64
+	for _, shared := range []int{2, 6, 12} {
+		s := build(shared)
+		if s < prev {
+			t.Fatalf("score decreased with more shared evidence: %g -> %g", prev, s)
+		}
+		prev = s
+	}
+}

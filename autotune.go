@@ -1,0 +1,38 @@
+package slim
+
+import (
+	"slim/internal/tuning"
+)
+
+// TuneCurve is the spatial-level probe curve of one dataset: the average
+// pair/self-similarity ratio per candidate level and the detected elbow.
+type TuneCurve struct {
+	Levels []int
+	Ratios []float64
+	Elbow  int
+	Level  int
+}
+
+// AutoTuneSpatialLevel runs the Sec. 3.3 probe on both datasets and
+// returns the level SLIM should use (the higher of the two elbows),
+// along with both curves for inspection.
+func AutoTuneSpatialLevel(dsE, dsI Dataset, cfg Config) (int, TuneCurve, TuneCurve, error) {
+	if err := cfg.normalize(); err != nil {
+		return 0, TuneCurve{}, TuneCurve{}, err
+	}
+	opt := tuning.DefaultOptions()
+	opt.WindowSeconds = int64(cfg.WindowMinutes * 60)
+	opt.MaxSpeedKmPerMin = cfg.MaxSpeedKmPerMin
+	opt.B = cfg.B
+	level, c1, c2 := tuning.AutoSpatialLevelPair(&dsE, &dsI, opt)
+	return level, toTuneCurve(c1), toTuneCurve(c2), nil
+}
+
+func toTuneCurve(c tuning.Curve) TuneCurve {
+	return TuneCurve{
+		Levels: c.Levels,
+		Ratios: c.Ratio,
+		Elbow:  c.Elbow,
+		Level:  c.Level(),
+	}
+}

@@ -1,0 +1,150 @@
+// Package cmd_test runs the four CLI tools end to end as compiled
+// binaries: generate a sampled workload, link it (with and without LSH),
+// and grade the links against the truth file — the complete workflow a
+// downstream user would script.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles one command into dir and returns the binary path.
+func build(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "slim/cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se strings.Builder
+	cmd.Stdout = &so
+	cmd.Stderr = &se
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, so.String(), se.String())
+	}
+	return so.String(), se.String()
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genBin := build(t, dir, "slim-gen")
+	linkBin := build(t, dir, "slim-link")
+	evalBin := build(t, dir, "slim-eval")
+
+	// 1. Generate a sampled workload.
+	_, genErr := runCmd(t, genBin,
+		"-kind", "cab", "-taxis", "24", "-days", "2", "-interval", "420",
+		"-sample", "-ratio", "0.5", "-inclusion", "0.6", "-dir", dir, "-seed", "5")
+	if !strings.Contains(genErr, "true pairs") {
+		t.Fatalf("slim-gen summary missing: %s", genErr)
+	}
+	for _, f := range []string{"E.csv", "I.csv", "truth.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing output %s: %v", f, err)
+		}
+	}
+
+	// 2. Link without LSH.
+	links, linkErr := runCmd(t, linkBin,
+		"-e", filepath.Join(dir, "E.csv"), "-i", filepath.Join(dir, "I.csv"))
+	if !strings.HasPrefix(links, "u,v,score") {
+		t.Fatalf("slim-link header missing:\n%s", links)
+	}
+	if !strings.Contains(linkErr, "stop threshold") {
+		t.Fatalf("slim-link summary missing:\n%s", linkErr)
+	}
+	linksPath := filepath.Join(dir, "links.csv")
+	if err := os.WriteFile(linksPath, []byte(links), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Grade.
+	evalOut, _ := runCmd(t, evalBin,
+		"-links", linksPath, "-truth", filepath.Join(dir, "truth.csv"))
+	if !strings.Contains(evalOut, "precision:") || !strings.Contains(evalOut, "f1:") {
+		t.Fatalf("slim-eval output malformed:\n%s", evalOut)
+	}
+	// The clean synthetic workload should link with decent quality.
+	if strings.Contains(evalOut, "f1:        0.0") {
+		t.Errorf("suspiciously poor CLI linkage:\n%s", evalOut)
+	}
+
+	// 4. Link again with LSH; summary must include filter stats.
+	_, lshErr := runCmd(t, linkBin,
+		"-e", filepath.Join(dir, "E.csv"), "-i", filepath.Join(dir, "I.csv"),
+		"-lsh", "-lsh-threshold", "0.2", "-lsh-level", "12", "-lsh-step", "48")
+	if !strings.Contains(lshErr, "lsh: signature=") {
+		t.Fatalf("slim-link LSH summary missing:\n%s", lshErr)
+	}
+}
+
+func TestCLIGenGroundDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genBin := build(t, dir, "slim-gen")
+	out := filepath.Join(dir, "sm.csv")
+	_, genErr := runCmd(t, genBin, "-kind", "sm", "-users", "50", "-days", "3", "-out", out)
+	if !strings.Contains(genErr, "entities") {
+		t.Fatalf("summary missing: %s", genErr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "entity,lat,lng,unix") {
+		t.Fatalf("csv header missing:\n%.100s", data)
+	}
+}
+
+func TestCLIExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	expBin := build(t, dir, "slim-experiments")
+	out, _ := runCmd(t, expBin, "-tiny", "fig2")
+	if !strings.Contains(out, "score histogram") || !strings.Contains(out, "finished in") {
+		t.Fatalf("fig2 output malformed:\n%s", out)
+	}
+	out, _ = runCmd(t, expBin, "-tiny", "tuning")
+	if !strings.Contains(out, "chosen level") {
+		t.Fatalf("tuning output malformed:\n%s", out)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	linkBin := build(t, dir, "slim-link")
+	evalBin := build(t, dir, "slim-eval")
+
+	// Missing required flags must exit non-zero.
+	if err := exec.Command(linkBin).Run(); err == nil {
+		t.Error("slim-link without flags should fail")
+	}
+	if err := exec.Command(evalBin).Run(); err == nil {
+		t.Error("slim-eval without flags should fail")
+	}
+	// Nonexistent input file.
+	if err := exec.Command(linkBin, "-e", "nope.csv", "-i", "nope2.csv").Run(); err == nil {
+		t.Error("slim-link with missing files should fail")
+	}
+}

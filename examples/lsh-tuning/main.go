@@ -1,0 +1,78 @@
+// LSH tuning: explore the scalability/quality trade-off of SLIM's
+// locality-sensitive-hashing filter (Sec. 4 of the paper) on one workload.
+//
+// The filter replaces the quadratic candidate enumeration with banded
+// hashing of dominating-cell signatures. This example sweeps the signature
+// threshold and spatial level, reporting candidate reduction, speed-up in
+// record comparisons, and the F1 cost relative to brute force — the
+// decision table you would consult before deploying SLIM on a large feed.
+//
+// Run with:
+//
+//	go run ./examples/lsh-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slim"
+)
+
+func main() {
+	ground := slim.GenerateCab(slim.CabOptions{
+		NumTaxis:              56,
+		Days:                  3,
+		MeanRecordIntervalSec: 360,
+		Seed:                  31,
+	})
+	w := slim.SampleWorkload(&ground, slim.SampleOptions{
+		IntersectionRatio: 0.5,
+		InclusionProbE:    0.5,
+		InclusionProbI:    0.5,
+		Seed:              32,
+	})
+
+	// Brute-force baseline.
+	base, err := slim.LinkDatasets(w.E, w.I, slim.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseF1 := slim.Evaluate(base.Links, w.Truth).F1
+	fmt.Printf("brute force: %d candidate pairs, %d record comparisons, F1=%.3f\n\n",
+		base.Stats.CandidatePairs, base.Stats.RecordComparisons, baseF1)
+
+	fmt.Println("sig-level  threshold  candidates  speed-up  relative-F1")
+	fmt.Println("---------  ---------  ----------  --------  -----------")
+	for _, level := range []int{8, 10, 12, 14} {
+		for _, t := range []float64{0.2, 0.4, 0.6} {
+			cfg := slim.Defaults()
+			cfg.LSH = &slim.LSHConfig{
+				Threshold:    t,
+				StepWindows:  48,
+				SpatialLevel: level,
+				NumBuckets:   1 << 14,
+			}
+			res, err := slim.LinkDatasets(w.E, w.I, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f1 := slim.Evaluate(res.Links, w.Truth).F1
+			rel := 0.0
+			if baseF1 > 0 {
+				rel = f1 / baseF1
+			}
+			speedup := 0.0
+			if res.Stats.RecordComparisons > 0 {
+				speedup = float64(base.Stats.RecordComparisons) / float64(res.Stats.RecordComparisons)
+			}
+			fmt.Printf("%9d  %9.1f  %10d  %7.1fx  %11.3f\n",
+				level, t, res.Stats.CandidatePairs, speedup, rel)
+		}
+	}
+
+	fmt.Println("\nreading: pick the row with the largest speed-up whose relative F1")
+	fmt.Println("you can afford; coarse signature levels do not filter at all on a")
+	fmt.Println("dense single-city dataset (everyone shares the dominating cells),")
+	fmt.Println("exactly as the paper observes on the Cab trace.")
+}

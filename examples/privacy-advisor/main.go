@@ -1,0 +1,64 @@
+// Privacy advisor: quantify how linkable an "anonymized" mobility dataset
+// really is — the privacy application motivating the paper's introduction.
+//
+// A data owner is about to release an anonymized check-in dataset. An
+// adversary holds records of the same population from another service
+// (here: a second sample of the same synthetic ground stream). This tool
+// measures what fraction of released users the adversary can re-identify
+// with SLIM, under increasingly aggressive record thinning — showing how
+// much suppression it takes before spatio-temporal linkage stops working.
+//
+// Run with:
+//
+//	go run ./examples/privacy-advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slim"
+)
+
+func main() {
+	ground := slim.GenerateSM(slim.SMOptions{
+		NumUsers:   800,
+		Days:       10,
+		AvgRecords: 40,
+		Seed:       11,
+	})
+	fmt.Println("privacy advisor: simulated release of an anonymized check-in dataset")
+	fmt.Println("adversary: records of the same population from another service")
+	fmt.Println()
+	fmt.Println("release-thinning  kept-records/user  re-identified  precision  recall")
+	fmt.Println("----------------  -----------------  -------------  ---------  ------")
+
+	for _, keep := range []float64{0.9, 0.6, 0.4, 0.2, 0.1} {
+		// The adversary's auxiliary dataset is stable; the release side is
+		// thinned to `keep`.
+		w := slim.SampleWorkload(&ground, slim.SampleOptions{
+			IntersectionRatio: 0.8, // most released users also use the other service
+			InclusionProbE:    keep,
+			InclusionProbI:    0.7,
+			Seed:              12,
+		})
+		cfg := slim.Defaults()
+		cfg.WindowMinutes = 30 // sparse check-ins: wider windows
+		res, err := slim.LinkDatasets(w.E, w.I, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := slim.Evaluate(res.Links, w.Truth)
+		avg := 0.0
+		if n := len(w.E.Entities()); n > 0 {
+			avg = float64(w.E.Len()) / float64(n)
+		}
+		fmt.Printf("%15.0f%%  %17.1f  %10d/%-3d  %9.3f  %6.3f\n",
+			keep*100, avg, m.TP, len(w.Truth), m.Precision, m.Recall)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: 'recall' is the fraction of released users an adversary")
+	fmt.Println("re-identifies. If it is high, anonymizing ids was not enough —")
+	fmt.Println("the spatio-temporal trail itself is the identifier (cf. paper §1).")
+}

@@ -1,0 +1,123 @@
+// Urban planning: build a unified mobility dataset from two partial
+// sources — the data-integration application motivating the paper's
+// introduction (e.g. merging wifi-positioning data with app check-ins to
+// avoid double-counting population densities).
+//
+// Two services observe overlapping user populations of one metro area.
+// Counting "unique people per district" from the naive union overcounts:
+// every cross-service user is counted twice. Linking with SLIM first
+// deduplicates the union and fixes the density estimates.
+//
+// Run with:
+//
+//	go run ./examples/urban-planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"slim"
+)
+
+func main() {
+	ground := slim.GenerateCab(slim.CabOptions{
+		NumTaxis:              60,
+		Days:                  2,
+		MeanRecordIntervalSec: 360,
+		Seed:                  21,
+	})
+	w := slim.SampleWorkload(&ground, slim.SampleOptions{
+		IntersectionRatio: 0.6,
+		InclusionProbE:    0.6,
+		InclusionProbI:    0.6,
+		Seed:              22,
+	})
+
+	res, err := slim.LinkDatasets(w.E, w.I, slim.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := slim.Evaluate(res.Links, w.Truth)
+
+	// Merge: every linked pair becomes ONE unified entity; unlinked
+	// entities carry over as-is.
+	aliasOfI := make(map[slim.EntityID]slim.EntityID, len(res.Links))
+	for _, l := range res.Links {
+		aliasOfI[l.V] = l.U
+	}
+	var unified slim.Dataset
+	unified.Name = "unified"
+	unified.Records = append(unified.Records, w.E.Records...)
+	for _, r := range w.I.Records {
+		if alias, ok := aliasOfI[r.Entity]; ok {
+			r.Entity = alias
+		}
+		unified.Records = append(unified.Records, r)
+	}
+
+	naiveCount := len(w.E.Entities()) + len(w.I.Entities())
+	trueCount := naiveCount - len(w.Truth)
+	fmt.Printf("service E entities:        %d\n", len(w.E.Entities()))
+	fmt.Printf("service I entities:        %d\n", len(w.I.Entities()))
+	fmt.Printf("naive union (overcounted): %d\n", naiveCount)
+	fmt.Printf("ground-truth population:   %d\n", trueCount)
+	fmt.Printf("after SLIM linkage:        %d  (linked %d pairs, F1=%.2f)\n\n",
+		len(unified.Entities()), len(res.Links), m.F1)
+
+	// District densities: unique entities per coarse area, naive vs
+	// deduplicated. Districts are a simple lat/lng grid over the city.
+	fmt.Println("district  naive-unique  deduped-unique")
+	fmt.Println("--------  ------------  --------------")
+	naive := districtCounts(&w.E, &w.I, nil)
+	dedup := districtCounts(&w.E, &w.I, aliasOfI)
+	keys := make([]string, 0, len(naive))
+	for k := range naive {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shown := 0
+	for _, k := range keys {
+		if naive[k] < 10 {
+			continue // skip empty fringe districts
+		}
+		fmt.Printf("%-8s  %12d  %14d\n", k, naive[k], dedup[k])
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+	fmt.Println("\nreading: naive per-district 'unique users' double-count every")
+	fmt.Println("cross-service person; the linked ids correct the estimate.")
+}
+
+// districtCounts counts distinct entities per ~2km grid district across
+// both services, optionally unifying I ids through the alias map.
+func districtCounts(e, i *slim.Dataset, aliasOfI map[slim.EntityID]slim.EntityID) map[string]int {
+	seen := make(map[string]map[slim.EntityID]bool)
+	add := func(r slim.Record, alias map[slim.EntityID]slim.EntityID) {
+		id := r.Entity
+		if alias != nil {
+			if a, ok := alias[id]; ok {
+				id = a
+			}
+		}
+		d := fmt.Sprintf("%d/%d", int(r.LatLng.Lat*50), int(-r.LatLng.Lng*50))
+		if seen[d] == nil {
+			seen[d] = make(map[slim.EntityID]bool)
+		}
+		seen[d][id] = true
+	}
+	for _, r := range e.Records {
+		add(r, nil)
+	}
+	for _, r := range i.Records {
+		add(r, aliasOfI)
+	}
+	out := make(map[string]int, len(seen))
+	for d, ids := range seen {
+		out[d] = len(ids)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package stlink
+
+import (
+	"testing"
+
+	"slim/internal/datagen"
+	"slim/internal/geo"
+	"slim/internal/matching"
+	"slim/internal/model"
+)
+
+var wnd = model.Windowing{Epoch: 0, WidthSeconds: 900}
+
+func rec(e string, lat, lng float64, unix int64) model.Record {
+	return model.Record{Entity: model.EntityID(e), LatLng: geo.LatLng{Lat: lat, Lng: lng}, Unix: unix}
+}
+
+// movers builds two datasets where eK and iK follow the same distinctive
+// multi-cell routes (co-occurring in diverse locations).
+func movers(n, steps int) (model.Dataset, model.Dataset) {
+	var dsE, dsI model.Dataset
+	dsE.Name, dsI.Name = "E", "I"
+	for e := 0; e < n; e++ {
+		eid := "e" + string(rune('a'+e))
+		iid := "i" + string(rune('a'+e))
+		for k := 0; k < steps; k++ {
+			unix := int64(900 * k)
+			lat := 37.0 + float64(e)*0.4 + float64(k%5)*0.05
+			lng := -122.4 + float64(k%7)*0.05
+			dsE.Records = append(dsE.Records, rec(eid, lat, lng, unix))
+			dsI.Records = append(dsI.Records, rec(iid, lat, lng, unix+30))
+		}
+	}
+	return dsE, dsI
+}
+
+func TestLinkRecoversCleanPairs(t *testing.T) {
+	dsE, dsI := movers(6, 20)
+	res := Link(&dsE, &dsI, DefaultParams(wnd, 12))
+	if len(res.Links) != 6 {
+		t.Fatalf("linked %d pairs, want 6 (links: %v, k=%d l=%d)", len(res.Links), res.Links, res.K, res.L)
+	}
+	for _, l := range res.Links {
+		if "i"+string(l.U[1]) != string(l.V) {
+			t.Errorf("wrong link %s-%s", l.U, l.V)
+		}
+	}
+	if res.RecordComparisons == 0 {
+		t.Error("record comparisons not counted")
+	}
+}
+
+func TestAmbiguityElimination(t *testing.T) {
+	// Two I entities identical to one E entity: qualified twice → dropped.
+	var dsE, dsI model.Dataset
+	for k := 0; k < 15; k++ {
+		unix := int64(900 * k)
+		lat := 37.0 + float64(k%5)*0.05
+		dsE.Records = append(dsE.Records, rec("u", lat, -122.4, unix))
+		dsI.Records = append(dsI.Records, rec("v1", lat, -122.4, unix+10))
+		dsI.Records = append(dsI.Records, rec("v2", lat, -122.4, unix+20))
+		// An unambiguous control pair far away.
+		dsE.Records = append(dsE.Records, rec("w", 45.0+float64(k%5)*0.05, -100.0, unix))
+		dsI.Records = append(dsI.Records, rec("x", 45.0+float64(k%5)*0.05, -100.0, unix+10))
+	}
+	p := DefaultParams(wnd, 12)
+	p.K, p.L = 2, 2 // fixed thresholds keep the test crisp
+	res := Link(&dsE, &dsI, p)
+	for _, l := range res.Links {
+		if l.U == "u" {
+			t.Errorf("ambiguous entity u must not be linked (got %s-%s)", l.U, l.V)
+		}
+	}
+	found := false
+	for _, l := range res.Links {
+		if l.U == "w" && l.V == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unambiguous pair w-x should be linked")
+	}
+}
+
+func TestAlibiDisqualifies(t *testing.T) {
+	var dsE, dsI model.Dataset
+	for k := 0; k < 12; k++ {
+		unix := int64(900 * k)
+		lat := 37.0 + float64(k%4)*0.05
+		dsE.Records = append(dsE.Records, rec("u", lat, -122.4, unix))
+		dsI.Records = append(dsI.Records, rec("v", lat, -122.4, unix+10))
+		// Inject alibi records: v also appears across the country in the
+		// same windows, repeatedly.
+		if k < 6 {
+			dsI.Records = append(dsI.Records, rec("v", 40.7, -74.0, unix+20))
+		}
+	}
+	p := DefaultParams(wnd, 12)
+	p.K, p.L = 2, 2
+	res := Link(&dsE, &dsI, p)
+	for _, l := range res.Links {
+		if l.U == "u" && l.V == "v" {
+			t.Error("pair with 6 alibi record pairs must be disqualified")
+		}
+	}
+	// The candidate evidence must still be recorded.
+	foundCand := false
+	for _, c := range res.Candidates {
+		if c.U == "u" && c.V == "v" {
+			foundCand = true
+			if c.AlibiPairs < 3 {
+				t.Errorf("alibi count = %d, want >= 3", c.AlibiPairs)
+			}
+		}
+	}
+	if !foundCand {
+		t.Error("pair missing from candidates")
+	}
+}
+
+func TestAutoKLDetection(t *testing.T) {
+	dsE, dsI := movers(8, 24)
+	res := Link(&dsE, &dsI, DefaultParams(wnd, 12))
+	if res.K < 1 || res.L < 1 {
+		t.Errorf("auto k/l = (%d, %d), want >= 1", res.K, res.L)
+	}
+	// True pairs share ~24 bins; auto-k must not exceed that.
+	if res.K > 24 {
+		t.Errorf("auto k = %d too aggressive", res.K)
+	}
+}
+
+func TestScoresRankTrueMatchFirst(t *testing.T) {
+	dsE, dsI := movers(5, 20)
+	res := Link(&dsE, &dsI, DefaultParams(wnd, 12))
+	scores := res.Scores("ea")
+	if len(scores) == 0 {
+		t.Fatal("no candidate scores for ea")
+	}
+	if scores[0].V != "ia" {
+		t.Errorf("top-ranked candidate for ea = %s, want ia", scores[0].V)
+	}
+}
+
+func TestLinkOnSampledCab(t *testing.T) {
+	src := datagen.Cab(datagen.CabConfig{NumTaxis: 24, Days: 2, MeanRecordIntervalSec: 400, Seed: 21})
+	s := datagen.Sample(&src, datagen.SampleConfig{IntersectionRatio: 0.5, InclusionProbE: 0.7, InclusionProbI: 0.7, Seed: 22})
+	res := Link(&s.E, &s.I, DefaultParams(model.NewWindowing(900, &s.E, &s.I), 12))
+	if !matching.Valid(res.Links) {
+		// ST-Link links can share endpoints only if ambiguity elimination
+		// failed — that would be a bug.
+		t.Error("ST-Link produced conflicting links")
+	}
+	correct := 0
+	for _, l := range res.Links {
+		if s.Truth[l.U] == l.V {
+			correct++
+		}
+	}
+	if len(res.Links) > 0 && correct == 0 {
+		t.Errorf("ST-Link linked %d pairs but none correct", len(res.Links))
+	}
+}
+
+func TestEmptyDatasets(t *testing.T) {
+	var e, i model.Dataset
+	res := Link(&e, &i, DefaultParams(wnd, 12))
+	if len(res.Links) != 0 || len(res.Candidates) != 0 {
+		t.Error("empty inputs should produce nothing")
+	}
+}

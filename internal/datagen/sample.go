@@ -1,0 +1,173 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"slim/internal/model"
+)
+
+// SampleConfig controls how two linkage inputs are drawn from one ground
+// dataset, mirroring Sec. 5.1 of the paper.
+type SampleConfig struct {
+	// IntersectionRatio is the fraction of entities common to both sides:
+	// |common| / |entities per side|. Default 0.5 (the paper's default).
+	IntersectionRatio float64
+	// InclusionProbE / InclusionProbI are the per-record inclusion
+	// probabilities of each side; the paper uses one knob for both
+	// (default 0.5). Separate knobs support asymmetric-density studies.
+	InclusionProbE float64
+	InclusionProbI float64
+	// SizePerSide caps the entities per side; 0 takes the maximum
+	// n = floor(N / (2 - ratio)) permitted by the ground dataset.
+	SizePerSide int
+	// MinRecords drops entities with ≤ MinRecords records after
+	// downsampling (the paper drops entities with ≤ 5 records).
+	MinRecords int
+	// Seed drives entity selection and record downsampling.
+	Seed int64
+}
+
+func (c *SampleConfig) defaults() {
+	if c.IntersectionRatio == 0 {
+		c.IntersectionRatio = 0.5
+	}
+	if c.InclusionProbE == 0 {
+		c.InclusionProbE = 0.5
+	}
+	if c.InclusionProbI == 0 {
+		c.InclusionProbI = 0.5
+	}
+	if c.MinRecords == 0 {
+		c.MinRecords = 5
+	}
+}
+
+// Sampled is a linkage workload: two anonymized datasets plus ground truth.
+type Sampled struct {
+	E model.Dataset
+	I model.Dataset
+	// Truth maps E entity ids to their true I counterparts, restricted to
+	// entities that survived downsampling and filtering on both sides.
+	Truth map[model.EntityID]model.EntityID
+	// CommonPlanned is the number of entities drawn as common before
+	// record downsampling (recall denominators use len(Truth)).
+	CommonPlanned int
+}
+
+// Sample draws the two overlapping subsets from the ground dataset and
+// downsamples records per side, relabeling entities with side-specific
+// anonymous ids.
+func Sample(src *model.Dataset, cfg SampleConfig) Sampled {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	entities := src.Entities()
+	byEntity := src.ByEntity()
+	n := len(entities)
+	r.Shuffle(n, func(i, j int) { entities[i], entities[j] = entities[j], entities[i] })
+
+	ratio := cfg.IntersectionRatio
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	perSide := int(math.Floor(float64(n) / (2 - ratio)))
+	if cfg.SizePerSide > 0 && cfg.SizePerSide < perSide {
+		perSide = cfg.SizePerSide
+	}
+	if perSide < 1 && n > 0 {
+		perSide = 1
+	}
+	common := int(math.Round(ratio * float64(perSide)))
+	if common > perSide {
+		common = perSide
+	}
+	exclusive := perSide - common
+	if common+2*exclusive > n {
+		exclusive = (n - common) / 2
+	}
+
+	commonIDs := entities[:common]
+	eOnly := entities[common : common+exclusive]
+	iOnly := entities[common+exclusive : common+2*exclusive]
+
+	out := Sampled{
+		E:             model.Dataset{Name: src.Name + "-E"},
+		I:             model.Dataset{Name: src.Name + "-I"},
+		Truth:         make(map[model.EntityID]model.EntityID, common),
+		CommonPlanned: common,
+	}
+
+	// Anonymized, side-specific ids with shuffled numbering so that id
+	// order carries no linkage signal.
+	eIDs := anonIDs(r, "e", common+len(eOnly))
+	iIDs := anonIDs(r, "i", common+len(iOnly))
+
+	keepE := make(map[model.EntityID]bool)
+	keepI := make(map[model.EntityID]bool)
+	addSide := func(ds *model.Dataset, srcID, dstID model.EntityID, prob float64, kept map[model.EntityID]bool) {
+		count := 0
+		for _, rec := range byEntity[srcID] {
+			if r.Float64() >= prob {
+				continue
+			}
+			rec.Entity = dstID
+			ds.Records = append(ds.Records, rec)
+			count++
+		}
+		if count > cfg.MinRecords {
+			kept[dstID] = true
+		}
+	}
+
+	for k, srcID := range commonIDs {
+		addSide(&out.E, srcID, eIDs[k], cfg.InclusionProbE, keepE)
+		addSide(&out.I, srcID, iIDs[k], cfg.InclusionProbI, keepI)
+	}
+	for k, srcID := range eOnly {
+		addSide(&out.E, srcID, eIDs[common+k], cfg.InclusionProbE, keepE)
+	}
+	for k, srcID := range iOnly {
+		addSide(&out.I, srcID, iIDs[common+k], cfg.InclusionProbI, keepI)
+	}
+
+	out.E = out.E.FilterMinRecords(cfg.MinRecords)
+	out.I = out.I.FilterMinRecords(cfg.MinRecords)
+	for k := 0; k < common; k++ {
+		if keepE[eIDs[k]] && keepI[iIDs[k]] {
+			out.Truth[eIDs[k]] = iIDs[k]
+		}
+	}
+	return out
+}
+
+// anonIDs builds n shuffled anonymous ids with the given prefix.
+func anonIDs(r *rand.Rand, prefix string, n int) []model.EntityID {
+	ids := make([]model.EntityID, n)
+	perm := r.Perm(n)
+	for k := 0; k < n; k++ {
+		ids[k] = model.EntityID(fmt.Sprintf("%s-%05d", prefix, perm[k]))
+	}
+	return ids
+}
+
+// AvgRecordsPerEntity reports the dataset's record density.
+func AvgRecordsPerEntity(d *model.Dataset) float64 {
+	ents := d.Entities()
+	if len(ents) == 0 {
+		return 0
+	}
+	return float64(len(d.Records)) / float64(len(ents))
+}
+
+// SortByTime returns a copy of the dataset with records in time order
+// (useful for streaming-style consumers and deterministic files).
+func SortByTime(d *model.Dataset) model.Dataset {
+	out := model.Dataset{Name: d.Name, Records: append([]model.Record(nil), d.Records...)}
+	sort.SliceStable(out.Records, func(i, j int) bool { return out.Records[i].Unix < out.Records[j].Unix })
+	return out
+}

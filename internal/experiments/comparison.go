@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim"
+	"slim/internal/baseline/gm"
+	"slim/internal/baseline/stlink"
+	"slim/internal/eval"
+	"slim/internal/model"
+)
+
+// ComparisonOptions sets the Fig. 11 study: SLIM vs ST-Link vs GM across
+// record densities and intersection ratios.
+type ComparisonOptions struct {
+	// TargetAvgRecords are the I-side densities to sweep (records per
+	// entity); the E side stays at PivotInclusion (the paper's "pivot").
+	TargetAvgRecords []float64
+	// PivotInclusion is the E-side record inclusion probability.
+	PivotInclusion float64
+	// Ratios are the entity intersection ratios of panels c/d.
+	Ratios []float64
+	// IncludeGM runs the GM baseline (two orders of magnitude slower; the
+	// paper drops it from the denser data points too).
+	IncludeGM bool
+	// GMMaxAvgRecords skips GM beyond this density (0 = no cap).
+	GMMaxAvgRecords float64
+	// HitK is the k of hit-precision@k (the paper uses 40).
+	HitK int
+	// LSHThreshold/SigLevel/Step/Buckets configure SLIM's filter. The
+	// paper uses t=0.6 with 4096 buckets on the real traces; the synthetic
+	// cab trace needs a more permissive threshold (see EXPERIMENTS.md).
+	LSHThreshold float64
+	SigLevel     int
+	Step         int
+	Buckets      int
+}
+
+// DefaultComparisonOptions mirrors the paper's setup scaled down.
+func DefaultComparisonOptions() ComparisonOptions {
+	return ComparisonOptions{
+		TargetAvgRecords: []float64{20, 60, 150, 300, 600},
+		PivotInclusion:   0.9,
+		Ratios:           []float64{0.3, 0.7},
+		IncludeGM:        true,
+		GMMaxAvgRecords:  200,
+		HitK:             40,
+		LSHThreshold:     0.2,
+		SigLevel:         12,
+		Step:             48,
+		Buckets:          4096,
+	}
+}
+
+// MethodMeasurement is one method's numbers at one data point.
+type MethodMeasurement struct {
+	Method            string
+	F1                float64
+	Precision         float64
+	Recall            float64
+	HitPrecision      float64
+	Runtime           time.Duration
+	RecordComparisons int64
+	Ran               bool
+}
+
+// ComparisonCell is one (ratio, density) data point across methods.
+type ComparisonCell struct {
+	Ratio      float64
+	TargetAvg  float64
+	ActualAvgI float64
+	Methods    []MethodMeasurement
+}
+
+// ComparisonResult is the full Fig. 11 study.
+type ComparisonResult struct {
+	Dataset string
+	Cells   []ComparisonCell
+}
+
+// Method returns a method's measurement in a cell (ok=false if absent).
+func (c ComparisonCell) Method(name string) (MethodMeasurement, bool) {
+	for _, m := range c.Methods {
+		if m.Method == name && m.Ran {
+			return m, true
+		}
+	}
+	return MethodMeasurement{}, false
+}
+
+// Tables renders the four panels of Fig. 11.
+func (r ComparisonResult) Tables() []eval.Table {
+	panels := []struct {
+		name string
+		get  func(MethodMeasurement) string
+	}{
+		{"hit-precision@k", func(m MethodMeasurement) string { return fmt.Sprintf("%.3f", m.HitPrecision) }},
+		{"F1", func(m MethodMeasurement) string { return fmt.Sprintf("%.3f", m.F1) }},
+		{"runtime-ms", func(m MethodMeasurement) string { return fmt.Sprintf("%d", m.Runtime.Milliseconds()) }},
+		{"record-comparisons", func(m MethodMeasurement) string { return fmt.Sprintf("%d", m.RecordComparisons) }},
+	}
+	var tables []eval.Table
+	for _, p := range panels {
+		t := eval.Table{
+			Title:  fmt.Sprintf("%s: %s per method", r.Dataset, p.name),
+			Header: []string{"ratio", "avg-records", "slim", "slim-nolsh", "st-link", "gm"},
+		}
+		for _, c := range r.Cells {
+			row := []string{fmt.Sprintf("%g", c.Ratio), fmt.Sprintf("%.0f", c.ActualAvgI)}
+			for _, name := range []string{"slim", "slim-nolsh", "st-link", "gm"} {
+				if m, ok := c.Method(name); ok {
+					row = append(row, p.get(m))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig11Comparison reproduces Fig. 11 on the Cab workload.
+func Fig11Comparison(sc Scale, opt ComparisonOptions) (ComparisonResult, error) {
+	ground := cabGround(sc)
+	srcAvg := avgRecords(&ground)
+	res := ComparisonResult{Dataset: "cab"}
+	seed := sc.Seed + 70
+	for _, ratio := range opt.Ratios {
+		for _, target := range opt.TargetAvgRecords {
+			seed++
+			inclI := target / srcAvg
+			if inclI > 1 {
+				inclI = 1
+			}
+			w := workload(&ground, ratio, opt.PivotInclusion, inclI, seed)
+			cell, err := comparisonCell(w, sc, opt, ratio, target)
+			if err != nil {
+				return ComparisonResult{}, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func comparisonCell(w slim.SampledWorkload, sc Scale, opt ComparisonOptions, ratio, target float64) (ComparisonCell, error) {
+	cell := ComparisonCell{Ratio: ratio, TargetAvg: target, ActualAvgI: avgRecords(&w.I)}
+	truth := eval.Truth(w.Truth)
+
+	// SLIM with LSH.
+	cfgLSH := baseConfig(15, 12, sc.Workers)
+	cfgLSH.LSH = &slim.LSHConfig{
+		Threshold:    opt.LSHThreshold,
+		StepWindows:  opt.Step,
+		SpatialLevel: opt.SigLevel,
+		NumBuckets:   opt.Buckets,
+	}
+	rrLSH, err := run(w, cfgLSH)
+	if err != nil {
+		return cell, err
+	}
+	cell.Methods = append(cell.Methods, MethodMeasurement{
+		Method: "slim", Ran: true,
+		F1: rrLSH.Metrics.F1, Precision: rrLSH.Metrics.Precision, Recall: rrLSH.Metrics.Recall,
+		Runtime:           rrLSH.Elapsed,
+		RecordComparisons: rrLSH.Res.Stats.RecordComparisons,
+		HitPrecision:      0, // filled by the brute-force ranking below
+	})
+
+	// SLIM without LSH (brute force) + rankings for hit-precision.
+	cfgBF := baseConfig(15, 12, sc.Workers)
+	startBF := time.Now()
+	lk, err := slim.NewLinker(w.E, w.I, cfgBF)
+	if err != nil {
+		return cell, err
+	}
+	resBF := lk.Run()
+	elapsedBF := time.Since(startBF)
+	mBF := slim.Evaluate(resBF.Links, w.Truth)
+	rankings := slimRankings(lk)
+	hit := eval.HitPrecisionAtK(rankings, truth, opt.HitK)
+	cell.Methods[0].HitPrecision = hit // SLIM scores identically ranked
+	cell.Methods = append(cell.Methods, MethodMeasurement{
+		Method: "slim-nolsh", Ran: true,
+		F1: mBF.F1, Precision: mBF.Precision, Recall: mBF.Recall,
+		HitPrecision:      hit,
+		Runtime:           elapsedBF,
+		RecordComparisons: resBF.Stats.RecordComparisons,
+	})
+
+	// ST-Link.
+	wnd := lk.Windowing()
+	startST := time.Now()
+	stRes := stlink.Link(&w.E, &w.I, stlink.DefaultParams(wnd, 12))
+	elapsedST := time.Since(startST)
+	stLinks := make([]eval.LinkPair, len(stRes.Links))
+	stSlimLinks := make([]slim.Link, len(stRes.Links))
+	for i, l := range stRes.Links {
+		stLinks[i] = eval.LinkPair{U: l.U, V: l.V}
+		stSlimLinks[i] = slim.Link{U: l.U, V: l.V, Score: l.W}
+	}
+	stPRF := eval.Score(stLinks, truth)
+	stRank := make(map[model.EntityID][]eval.RankedCandidate)
+	for _, ps := range stRes.Candidates {
+		stRank[ps.U] = append(stRank[ps.U], eval.RankedCandidate{
+			V:     ps.V,
+			Score: float64(ps.Cooccurrences) + float64(ps.DiverseLocations)/1000,
+		})
+	}
+	cell.Methods = append(cell.Methods, MethodMeasurement{
+		Method: "st-link", Ran: true,
+		F1: stPRF.F1, Precision: stPRF.Precision, Recall: stPRF.Recall,
+		HitPrecision:      eval.HitPrecisionAtK(stRank, truth, opt.HitK),
+		Runtime:           elapsedST,
+		RecordComparisons: stRes.RecordComparisons,
+	})
+
+	// GM (optional, slow).
+	if opt.IncludeGM && (opt.GMMaxAvgRecords == 0 || cell.ActualAvgI <= opt.GMMaxAvgRecords) {
+		startGM := time.Now()
+		gmRes := gm.Link(&w.E, &w.I, gm.DefaultParams())
+		elapsedGM := time.Since(startGM)
+		gmLinks := make([]eval.LinkPair, len(gmRes.Links))
+		for i, l := range gmRes.Links {
+			gmLinks[i] = eval.LinkPair{U: l.U, V: l.V}
+		}
+		gmPRF := eval.Score(gmLinks, truth)
+		gmRank := make(map[model.EntityID][]eval.RankedCandidate)
+		for _, e := range gmRes.PairScores {
+			gmRank[e.U] = append(gmRank[e.U], eval.RankedCandidate{V: e.V, Score: e.W})
+		}
+		cell.Methods = append(cell.Methods, MethodMeasurement{
+			Method: "gm", Ran: true,
+			F1: gmPRF.F1, Precision: gmPRF.Precision, Recall: gmPRF.Recall,
+			HitPrecision:      eval.HitPrecisionAtK(gmRank, truth, opt.HitK),
+			Runtime:           elapsedGM,
+			RecordComparisons: gmRes.RecordComparisons,
+		})
+	}
+	return cell, nil
+}

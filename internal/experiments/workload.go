@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim"
+	"slim/internal/eval"
+)
+
+// WorkloadOptions sets the Fig. 7 grid: F1 and runtime as a function of
+// the record inclusion probability, one series per intersection ratio.
+type WorkloadOptions struct {
+	InclusionProbs []float64
+	Ratios         []float64
+}
+
+// DefaultWorkloadOptions mirrors the paper's axes.
+func DefaultWorkloadOptions() WorkloadOptions {
+	return WorkloadOptions{
+		InclusionProbs: []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Ratios:         []float64{0.3, 0.5, 0.7, 0.9},
+	}
+}
+
+// WorkloadCell is one (ratio, inclusion) measurement.
+type WorkloadCell struct {
+	Ratio         float64
+	InclusionProb float64
+	F1            float64
+	Precision     float64
+	Recall        float64
+	Runtime       time.Duration
+	AvgRecords    float64
+}
+
+// WorkloadResult is the Fig. 7 sweep for one dataset.
+type WorkloadResult struct {
+	Dataset string
+	Cells   []WorkloadCell
+}
+
+// Tables renders the F1 and runtime panels.
+func (r WorkloadResult) Tables() []eval.Table {
+	var ratios, probs []float64
+	seenR := map[float64]bool{}
+	seenP := map[float64]bool{}
+	for _, c := range r.Cells {
+		if !seenR[c.Ratio] {
+			seenR[c.Ratio] = true
+			ratios = append(ratios, c.Ratio)
+		}
+		if !seenP[c.InclusionProb] {
+			seenP[c.InclusionProb] = true
+			probs = append(probs, c.InclusionProb)
+		}
+	}
+	cell := func(ratio, prob float64) (WorkloadCell, bool) {
+		for _, c := range r.Cells {
+			if c.Ratio == ratio && c.InclusionProb == prob {
+				return c, true
+			}
+		}
+		return WorkloadCell{}, false
+	}
+	f1 := eval.Table{
+		Title:  fmt.Sprintf("%s: F1 vs inclusion probability (series = intersection ratio)", r.Dataset),
+		Header: append([]string{"ratio\\incl"}, floatsToStrings(probs)...),
+	}
+	rt := eval.Table{
+		Title:  fmt.Sprintf("%s: runtime (ms) vs inclusion probability (series = intersection ratio)", r.Dataset),
+		Header: append([]string{"ratio\\incl"}, floatsToStrings(probs)...),
+	}
+	for _, ratio := range ratios {
+		rowF1 := []string{fmt.Sprintf("%g", ratio)}
+		rowRT := []string{fmt.Sprintf("%g", ratio)}
+		for _, prob := range probs {
+			if c, ok := cell(ratio, prob); ok {
+				rowF1 = append(rowF1, fmt.Sprintf("%.3f", c.F1))
+				rowRT = append(rowRT, fmt.Sprintf("%d", c.Runtime.Milliseconds()))
+			} else {
+				rowF1 = append(rowF1, "-")
+				rowRT = append(rowRT, "-")
+			}
+		}
+		f1.Rows = append(f1.Rows, rowF1)
+		rt.Rows = append(rt.Rows, rowRT)
+	}
+	return []eval.Table{f1, rt}
+}
+
+func floatsToStrings(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%g", x)
+	}
+	return out
+}
+
+// Fig7WorkloadCab reproduces Fig. 7a/7b on the Cab workload.
+func Fig7WorkloadCab(sc Scale, opt WorkloadOptions) (WorkloadResult, error) {
+	ground := cabGround(sc)
+	return workloadSweep("cab", &ground, sc, opt)
+}
+
+// Fig7WorkloadSM reproduces Fig. 7c/7d on the SM workload.
+func Fig7WorkloadSM(sc Scale, opt WorkloadOptions) (WorkloadResult, error) {
+	ground := smGround(sc)
+	return workloadSweep("sm", &ground, sc, opt)
+}
+
+func workloadSweep(name string, ground *slim.Dataset, sc Scale, opt WorkloadOptions) (WorkloadResult, error) {
+	res := WorkloadResult{Dataset: name}
+	seed := sc.Seed + 30
+	for _, ratio := range opt.Ratios {
+		for _, prob := range opt.InclusionProbs {
+			seed++
+			w := workload(ground, ratio, prob, prob, seed)
+			cfg := baseConfig(15, 12, sc.Workers)
+			rr, err := run(w, cfg)
+			if err != nil {
+				return WorkloadResult{}, err
+			}
+			avgE := avgRecords(&w.E)
+			res.Cells = append(res.Cells, WorkloadCell{
+				Ratio:         ratio,
+				InclusionProb: prob,
+				F1:            rr.Metrics.F1,
+				Precision:     rr.Metrics.Precision,
+				Recall:        rr.Metrics.Recall,
+				Runtime:       rr.Elapsed,
+				AvgRecords:    avgE,
+			})
+		}
+	}
+	return res, nil
+}

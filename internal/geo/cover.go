@@ -1,0 +1,80 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// CoverCapCells returns the cells at the given level that (approximately)
+// cover the spherical cap of the given radius around center — the covering
+// primitive behind region records (Sec. 2.1: "datasets that contain record
+// locations as regions, by copying a record into multiple cells within the
+// mobility histories using weights").
+//
+// The covering is computed by sampling a geodesic-aware lat/lng grid over
+// the cap's bounding box at half-cell spacing and collecting the distinct
+// containing cells. It is approximate in both directions on the cap's rim
+// (a rim cell can be missed or over-included by a fraction of a cell), but
+// it always includes the center cell, never returns cells farther than one
+// cell diagonal outside the radius, and is deterministic. The sample count
+// is bounded, so very large radius/level combinations degrade gracefully
+// to a coarser sampling instead of exploding.
+func CoverCapCells(center LatLng, radiusKm float64, level int) []CellID {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	centerCell := CellIDFromLatLngLevel(center, level)
+	if radiusKm <= 0 {
+		return []CellID{centerCell}
+	}
+
+	// Half-cell sampling resolves every interior cell; clamp the grid to
+	// maxSamples^2 points for pathological radius/level combinations.
+	const maxSamples = 96
+	stepKm := ApproxCellEdgeKm(level) / 2
+	if n := 2 * radiusKm / stepKm; n > maxSamples {
+		stepKm = 2 * radiusKm / maxSamples
+	}
+
+	latStep := stepKm / kmPerDegreeLat
+	latLo := center.Lat - radiusKm/kmPerDegreeLat
+	latHi := center.Lat + radiusKm/kmPerDegreeLat
+
+	seen := map[CellID]struct{}{centerCell: {}}
+	for lat := latLo; lat <= latHi+latStep/2; lat += latStep {
+		cosLat := math.Cos(lat * math.Pi / 180)
+		if cosLat < 0.01 {
+			cosLat = 0.01 // near the poles every longitude is close
+		}
+		lngSpan := radiusKm / (kmPerDegreeLat * cosLat)
+		lngStep := stepKm / (kmPerDegreeLat * cosLat)
+		for lng := center.Lng - lngSpan; lng <= center.Lng+lngSpan+lngStep/2; lng += lngStep {
+			pt := LatLngFromDegrees(clampLat(lat), lng)
+			if GreatCircleKm(center, pt) > radiusKm {
+				continue
+			}
+			seen[CellIDFromLatLngLevel(pt, level)] = struct{}{}
+		}
+	}
+	out := make([]CellID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+const kmPerDegreeLat = 111.19492664455873 // EarthRadiusKm * pi / 180
+
+func clampLat(lat float64) float64 {
+	if lat > 90 {
+		return 90
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}

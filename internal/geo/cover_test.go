@@ -1,0 +1,127 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoverCapPointDegeneratesToSingleCell(t *testing.T) {
+	ll := LatLng{Lat: 37.7749, Lng: -122.4194}
+	cells := CoverCapCells(ll, 0, 12)
+	if len(cells) != 1 || cells[0] != CellIDFromLatLngLevel(ll, 12) {
+		t.Fatalf("zero radius should return only the center cell, got %v", cells)
+	}
+	cells = CoverCapCells(ll, -5, 12)
+	if len(cells) != 1 {
+		t.Fatal("negative radius should behave like a point")
+	}
+}
+
+func TestCoverCapContainsCenterAndNeighbors(t *testing.T) {
+	center := LatLng{Lat: 37.7749, Lng: -122.4194}
+	level := 13 // ~2.4 km cells
+	cells := CoverCapCells(center, 5, level)
+	if len(cells) < 4 {
+		t.Fatalf("a 5km cap should span several level-%d cells, got %d", level, len(cells))
+	}
+	centerCell := CellIDFromLatLngLevel(center, level)
+	found := false
+	for _, c := range cells {
+		if c == centerCell {
+			found = true
+		}
+		if c.Level() != level {
+			t.Fatalf("cell %v not at level %d", c, level)
+		}
+		if !c.IsValid() {
+			t.Fatalf("invalid cell in covering: %v", c)
+		}
+	}
+	if !found {
+		t.Fatal("covering must include the center cell")
+	}
+	// Points inside the cap should (almost always) fall in covered cells.
+	r := rand.New(rand.NewSource(1))
+	covered := make(map[CellID]bool, len(cells))
+	for _, c := range cells {
+		covered[c] = true
+	}
+	miss := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		dLat := (r.Float64()*2 - 1) * 4.4 / 111.19
+		dLng := (r.Float64()*2 - 1) * 4.4 / (111.19 * 0.79)
+		pt := LatLng{Lat: center.Lat + dLat, Lng: center.Lng + dLng}
+		if GreatCircleKm(center, pt) > 4.4 { // stay clearly inside 5km
+			continue
+		}
+		if !covered[CellIDFromLatLngLevel(pt, level)] {
+			miss++
+		}
+	}
+	if miss > trials/20 {
+		t.Errorf("%d/%d interior points landed outside the covering", miss, trials)
+	}
+}
+
+func TestCoverCapCellsNotTooFar(t *testing.T) {
+	center := LatLng{Lat: 48.8566, Lng: 2.3522}
+	level := 12
+	radius := 8.0
+	for _, c := range CoverCapCells(center, radius, level) {
+		d := GreatCircleKm(center, c.LatLng())
+		// A covered cell's center can be at most radius + one diagonal out.
+		if d > radius+3*ApproxCellEdgeKm(level) {
+			t.Errorf("cell %v center %.1f km from cap center (radius %g)", c, d, radius)
+		}
+	}
+}
+
+func TestCoverCapDeterministic(t *testing.T) {
+	center := LatLng{Lat: -33.8688, Lng: 151.2093}
+	first := CoverCapCells(center, 6, 13)
+	for i := 0; i < 3; i++ {
+		again := CoverCapCells(center, 6, 13)
+		if len(again) != len(first) {
+			t.Fatal("covering size not deterministic")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("covering order not deterministic")
+			}
+		}
+	}
+	// Sorted ascending.
+	for j := 1; j < len(first); j++ {
+		if first[j] <= first[j-1] {
+			t.Fatal("covering not sorted")
+		}
+	}
+}
+
+func TestCoverCapBoundedSamples(t *testing.T) {
+	// Huge radius at a fine level must not explode; it degrades to a
+	// coarser sampling but still returns promptly with bounded output.
+	cells := CoverCapCells(LatLng{Lat: 37.77, Lng: -122.42}, 500, 18)
+	if len(cells) == 0 {
+		t.Fatal("covering must not be empty")
+	}
+	if len(cells) > 100*100 {
+		t.Fatalf("covering exploded: %d cells", len(cells))
+	}
+}
+
+func TestCoverCapNearPole(t *testing.T) {
+	// Must not hang or divide by ~zero at extreme latitudes.
+	cells := CoverCapCells(LatLng{Lat: 89.5, Lng: 10}, 20, 10)
+	if len(cells) == 0 {
+		t.Fatal("polar covering empty")
+	}
+}
+
+func BenchmarkCoverCap(b *testing.B) {
+	center := LatLng{Lat: 37.7749, Lng: -122.4194}
+	for i := 0; i < b.N; i++ {
+		_ = CoverCapCells(center, 5, 13)
+	}
+}

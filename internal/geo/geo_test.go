@@ -1,0 +1,380 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomLatLng(r *rand.Rand) LatLng {
+	// Uniform on the sphere: z uniform in [-1,1], lng uniform.
+	z := 2*r.Float64() - 1
+	lat := math.Asin(z) * 180 / math.Pi
+	lng := 360*r.Float64() - 180
+	return LatLng{Lat: lat, Lng: lng}
+}
+
+func TestLatLngPointRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n < 1000; n++ {
+		ll := randomLatLng(r)
+		got := LatLngFromPoint(PointFromLatLng(ll))
+		if math.Abs(got.Lat-ll.Lat) > 1e-9 {
+			t.Fatalf("lat round trip: %v -> %v", ll, got)
+		}
+		dLng := math.Abs(got.Lng - ll.Lng)
+		if dLng > 180 {
+			dLng = 360 - dLng
+		}
+		// Longitude is meaningless at the poles.
+		if dLng > 1e-9 && math.Abs(ll.Lat) < 89.999 {
+			t.Fatalf("lng round trip: %v -> %v", ll, got)
+		}
+	}
+}
+
+func TestLatLngFromDegreesClamps(t *testing.T) {
+	ll := LatLngFromDegrees(123, 542)
+	if ll.Lat != 90 {
+		t.Errorf("lat clamp: got %v", ll.Lat)
+	}
+	if ll.Lng < -180 || ll.Lng > 180 {
+		t.Errorf("lng wrap: got %v", ll.Lng)
+	}
+	if !ll.IsValid() {
+		t.Errorf("clamped LatLng should be valid: %v", ll)
+	}
+	if (LatLng{Lat: math.NaN()}).IsValid() {
+		t.Error("NaN latitude must be invalid")
+	}
+}
+
+func TestCellIDRoundTripContainsPoint(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for n := 0; n < 2000; n++ {
+		ll := randomLatLng(r)
+		leaf := CellIDFromLatLng(ll)
+		if !leaf.IsValid() || !leaf.IsLeaf() || leaf.Level() != MaxLevel {
+			t.Fatalf("leaf invariants violated for %v: %v", ll, leaf)
+		}
+		// The leaf center must be within one leaf diagonal of the input.
+		d := GreatCircleKm(ll, leaf.LatLng())
+		if maxD := 3 * ApproxCellEdgeKm(MaxLevel); d > maxD {
+			t.Fatalf("leaf center %v too far from %v: %g km", leaf.LatLng(), ll, d)
+		}
+	}
+}
+
+func TestParentChildInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for n := 0; n < 500; n++ {
+		ll := randomLatLng(r)
+		leaf := CellIDFromLatLng(ll)
+		prev := leaf
+		for level := MaxLevel - 1; level >= 0; level-- {
+			p := leaf.Parent(level)
+			if p.Level() != level {
+				t.Fatalf("Parent(%d).Level() = %d", level, p.Level())
+			}
+			if !p.IsValid() {
+				t.Fatalf("parent invalid at level %d: %v", level, p)
+			}
+			if !p.Contains(leaf) {
+				t.Fatalf("parent %v does not contain leaf %v", p, leaf)
+			}
+			if !p.Contains(prev) {
+				t.Fatalf("parent %v does not contain child-level cell %v", p, prev)
+			}
+			if p.Face() != leaf.Face() {
+				t.Fatalf("face changed by Parent: %d vs %d", p.Face(), leaf.Face())
+			}
+			prev = p
+		}
+	}
+}
+
+func TestParentClampsLevels(t *testing.T) {
+	leaf := CellIDFromLatLng(LatLng{Lat: 10, Lng: 10})
+	if leaf.Parent(-5).Level() != 0 {
+		t.Error("Parent(-5) should clamp to level 0")
+	}
+	if leaf.Parent(99) != leaf {
+		t.Error("Parent(99) should return the leaf itself")
+	}
+	if leaf.Parent(MaxLevel) != leaf {
+		t.Error("Parent(MaxLevel) of a leaf should be identity")
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for n := 0; n < 200; n++ {
+		cell := CellIDFromLatLng(randomLatLng(r)).Parent(5 + r.Intn(20))
+		children := cell.Children()
+		seen := map[CellID]bool{}
+		for _, ch := range children {
+			if ch.Level() != cell.Level()+1 {
+				t.Fatalf("child level %d, want %d", ch.Level(), cell.Level()+1)
+			}
+			if !cell.Contains(ch) {
+				t.Fatalf("cell %v does not contain child %v", cell, ch)
+			}
+			if ch.immediateParent() != cell {
+				t.Fatalf("child %v's parent is %v, want %v", ch, ch.immediateParent(), cell)
+			}
+			if seen[ch] {
+				t.Fatalf("duplicate child %v", ch)
+			}
+			seen[ch] = true
+		}
+		// Children must tile the parent's leaf range exactly.
+		if children[0].RangeMin() != cell.RangeMin() {
+			t.Fatalf("first child range-min mismatch")
+		}
+		if children[3].RangeMax() != cell.RangeMax() {
+			t.Fatalf("last child range-max mismatch")
+		}
+		// Leaf ids are odd, so adjacent leaves differ by 2.
+		for k := 0; k < 3; k++ {
+			if uint64(children[k].RangeMax())+2 != uint64(children[k+1].RangeMin()) {
+				t.Fatalf("children %d and %d do not tile contiguously", k, k+1)
+			}
+		}
+	}
+}
+
+func TestLeafChildrenAreSelf(t *testing.T) {
+	leaf := CellIDFromLatLng(LatLng{Lat: 1, Lng: 2})
+	for _, ch := range leaf.Children() {
+		if ch != leaf {
+			t.Fatalf("leaf child should be the leaf itself")
+		}
+	}
+}
+
+func TestContainsIsHierarchy(t *testing.T) {
+	a := CellIDFromLatLng(LatLng{Lat: 37.7, Lng: -122.4})
+	b := CellIDFromLatLng(LatLng{Lat: 37.7001, Lng: -122.4001})
+	for level := 0; level <= MaxLevel; level++ {
+		pa, pb := a.Parent(level), b.Parent(level)
+		if pa == pb {
+			continue
+		}
+		if pa.Contains(b.Parent(MaxLevel)) {
+			t.Fatalf("disjoint cells at level %d claim containment", level)
+		}
+	}
+	if !a.Parent(10).Contains(a) {
+		t.Fatal("ancestor must contain descendant")
+	}
+	if a.Contains(a.Parent(10)) {
+		t.Fatal("descendant must not contain ancestor")
+	}
+}
+
+func TestCellIDQuickRoundTrip(t *testing.T) {
+	f := func(latSeed, lngSeed uint32, levelSeed uint8) bool {
+		lat := float64(latSeed%18000)/100 - 90
+		lng := float64(lngSeed%36000)/100 - 180
+		level := int(levelSeed % (MaxLevel + 1))
+		ll := LatLng{Lat: lat, Lng: lng}
+		cell := CellIDFromLatLngLevel(ll, level)
+		if !cell.IsValid() || cell.Level() != level {
+			return false
+		}
+		// The cell must contain the leaf of its own center.
+		return cell.Contains(CellIDFromLatLng(cell.LatLng()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreatCircleKnownDistances(t *testing.T) {
+	sf := LatLng{Lat: 37.7749, Lng: -122.4194}
+	ny := LatLng{Lat: 40.7128, Lng: -74.0060}
+	d := GreatCircleKm(sf, ny)
+	if d < 4100 || d > 4200 {
+		t.Errorf("SF-NY distance = %g km, want ~4130", d)
+	}
+	if GreatCircleKm(sf, sf) != 0 {
+		t.Error("distance to self must be 0")
+	}
+	anti := LatLng{Lat: -37.7749, Lng: 57.5806}
+	d = GreatCircleKm(sf, anti)
+	if math.Abs(d-math.Pi*EarthRadiusKm) > 1 {
+		t.Errorf("antipodal distance = %g, want %g", d, math.Pi*EarthRadiusKm)
+	}
+}
+
+func TestCellDistanceLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for n := 0; n < 500; n++ {
+		a := randomLatLng(r)
+		b := randomLatLng(r)
+		level := 4 + r.Intn(16)
+		ca := CellIDFromLatLngLevel(a, level)
+		cb := CellIDFromLatLngLevel(b, level)
+		lower := CellDistanceKm(ca, cb)
+		actual := GreatCircleKm(a, b)
+		if lower > actual+1e-6 {
+			t.Fatalf("lower bound %g exceeds actual point distance %g (level %d)", lower, actual, level)
+		}
+		if lower < 0 {
+			t.Fatalf("negative distance %g", lower)
+		}
+		if got := CellDistanceKm(cb, ca); math.Abs(got-lower) > 1e-9 {
+			t.Fatalf("asymmetric distances: %g vs %g", lower, got)
+		}
+	}
+}
+
+func TestCellDistanceZeroCases(t *testing.T) {
+	c := CellIDFromLatLngLevel(LatLng{Lat: 37.7, Lng: -122.4}, 12)
+	if CellDistanceKm(c, c) != 0 {
+		t.Error("distance to self must be 0")
+	}
+	child := c.Children()[2]
+	if CellDistanceKm(c, child) != 0 {
+		t.Error("distance to descendant must be 0")
+	}
+	if CellDistanceKm(child, c) != 0 {
+		t.Error("distance to ancestor must be 0")
+	}
+}
+
+func TestCellDistanceSeparatedCells(t *testing.T) {
+	sf := CellIDFromLatLngLevel(LatLng{Lat: 37.7749, Lng: -122.4194}, 12)
+	ny := CellIDFromLatLngLevel(LatLng{Lat: 40.7128, Lng: -74.0060}, 12)
+	d := CellDistanceKm(sf, ny)
+	if d < 4000 || d > 4200 {
+		t.Errorf("SF-NY cell distance = %g km, want slightly under ~4130", d)
+	}
+}
+
+func TestApproxCellEdgeMonotone(t *testing.T) {
+	for level := 1; level <= MaxLevel; level++ {
+		if ApproxCellEdgeKm(level) >= ApproxCellEdgeKm(level-1) {
+			t.Fatalf("edge length not decreasing at level %d", level)
+		}
+	}
+	if e := ApproxCellEdgeKm(12); e < 1 || e > 5 {
+		t.Errorf("level-12 edge = %g km, expected on the order of 2 km", e)
+	}
+	if ApproxCellEdgeKm(-1) != ApproxCellEdgeKm(0) {
+		t.Error("negative level should clamp to 0")
+	}
+	if ApproxCellEdgeKm(99) != ApproxCellEdgeKm(MaxLevel) {
+		t.Error("excess level should clamp to MaxLevel")
+	}
+}
+
+func TestCircumradiusShrinksWithLevel(t *testing.T) {
+	ll := LatLng{Lat: 37.7, Lng: -122.4}
+	prev := math.Inf(1)
+	for level := 2; level <= 24; level += 2 {
+		r := CellIDFromLatLngLevel(ll, level).CircumradiusRad()
+		if r <= 0 {
+			t.Fatalf("non-positive circumradius at level %d", level)
+		}
+		if r >= prev {
+			t.Fatalf("circumradius did not shrink at level %d: %g >= %g", level, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestNeighborCellsNotAlibiDistance(t *testing.T) {
+	// Two points ~1km apart must never be assigned a cell distance larger
+	// than their true distance, at any level.
+	a := LatLng{Lat: 37.7749, Lng: -122.4194}
+	b := LatLng{Lat: 37.7839, Lng: -122.4194} // ~1 km north
+	actual := GreatCircleKm(a, b)
+	for level := 4; level <= 20; level++ {
+		d := CellDistanceKm(CellIDFromLatLngLevel(a, level), CellIDFromLatLngLevel(b, level))
+		if d > actual {
+			t.Fatalf("level %d: cell distance %g exceeds point distance %g", level, d, actual)
+		}
+	}
+}
+
+func TestInvalidCellID(t *testing.T) {
+	if CellID(0).IsValid() {
+		t.Error("zero CellID must be invalid")
+	}
+	if CellID(0).String() == "" {
+		t.Error("String on invalid id should still render")
+	}
+	var tooBigFace CellID = 7 << posBits
+	if tooBigFace.IsValid() {
+		t.Error("face 7 must be invalid")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := CellIDFromLatLngLevel(LatLng{Lat: 1, Lng: 2}, 12)
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestVerticesSurroundCenter(t *testing.T) {
+	c := CellIDFromLatLngLevel(LatLng{Lat: 37.7, Lng: -122.4}, 10)
+	center := c.Center()
+	for _, v := range c.Vertices() {
+		if center.Angle(v) <= 0 {
+			t.Fatal("vertex coincides with center")
+		}
+		if center.Angle(v) > c.CircumradiusRad()+1e-12 {
+			t.Fatal("vertex outside circumradius")
+		}
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	x := Point{1, 0, 0}
+	y := Point{0, 1, 0}
+	if x.Dot(y) != 0 {
+		t.Error("orthogonal dot product must be 0")
+	}
+	z := x.Cross(y)
+	if z != (Point{0, 0, 1}) {
+		t.Errorf("cross product = %v, want (0,0,1)", z)
+	}
+	if math.Abs(x.Angle(y)-math.Pi/2) > 1e-12 {
+		t.Error("angle between axes must be pi/2")
+	}
+	if n := (Point{3, 4, 0}).Normalize().Norm(); math.Abs(n-1) > 1e-12 {
+		t.Errorf("normalize gave norm %g", n)
+	}
+	zero := Point{}
+	if zero.Normalize() != zero {
+		t.Error("normalizing the zero vector should be identity")
+	}
+}
+
+func BenchmarkCellIDFromLatLng(b *testing.B) {
+	lls := make([]LatLng, 1024)
+	r := rand.New(rand.NewSource(6))
+	for i := range lls {
+		lls[i] = randomLatLng(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CellIDFromLatLng(lls[i%len(lls)])
+	}
+}
+
+func BenchmarkCellDistanceKm(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	cells := make([]CellID, 256)
+	for i := range cells {
+		cells[i] = CellIDFromLatLngLevel(randomLatLng(r), 12)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CellDistanceKm(cells[i%len(cells)], cells[(i*7+3)%len(cells)])
+	}
+}

@@ -1,0 +1,113 @@
+// Package geo implements the hierarchical spatial grid SLIM depends on.
+//
+// The paper uses Google's S2 geometry library to partition the Earth's
+// surface into 31 levels of hierarchical cells. This package re-implements
+// the relevant subset of the S2 cell scheme from scratch in pure Go:
+//
+//   - points on the unit sphere and lat/lng conversions,
+//   - the cube-face projection with the quadratic area-uniformity transform,
+//   - 64-bit Hilbert-curve cell ids with 30 subdivision levels,
+//   - parent/child navigation and containment,
+//   - great-circle distances and admissible lower bounds on the minimum
+//     distance between two cells (used for runaway/alibi tests).
+//
+// Cell ids produced here follow the same bit layout as S2 (3 face bits,
+// 60 Hilbert position bits, trailing marker bit) but are not guaranteed to
+// be numerically identical to Google's ids; SLIM only relies on the
+// hierarchy and locality structure, not on specific id values.
+package geo
+
+import "math"
+
+// EarthRadiusKm is the mean Earth radius used for all distance computations.
+const EarthRadiusKm = 6371.0088
+
+// Point is a point on the unit sphere in geocentric coordinates.
+type Point struct {
+	X, Y, Z float64
+}
+
+// LatLng is a geographic position in degrees.
+type LatLng struct {
+	Lat, Lng float64
+}
+
+// LatLngFromDegrees constructs a LatLng, clamping latitude into [-90, 90]
+// and wrapping longitude into [-180, 180].
+func LatLngFromDegrees(lat, lng float64) LatLng {
+	if lat > 90 {
+		lat = 90
+	}
+	if lat < -90 {
+		lat = -90
+	}
+	for lng > 180 {
+		lng -= 360
+	}
+	for lng < -180 {
+		lng += 360
+	}
+	return LatLng{Lat: lat, Lng: lng}
+}
+
+// IsValid reports whether the position holds finite, in-range coordinates.
+func (ll LatLng) IsValid() bool {
+	return !math.IsNaN(ll.Lat) && !math.IsNaN(ll.Lng) &&
+		ll.Lat >= -90 && ll.Lat <= 90 && ll.Lng >= -180 && ll.Lng <= 180
+}
+
+// PointFromLatLng converts a geographic position to a unit vector.
+func PointFromLatLng(ll LatLng) Point {
+	phi := ll.Lat * math.Pi / 180
+	theta := ll.Lng * math.Pi / 180
+	cosPhi := math.Cos(phi)
+	return Point{
+		X: math.Cos(theta) * cosPhi,
+		Y: math.Sin(theta) * cosPhi,
+		Z: math.Sin(phi),
+	}
+}
+
+// LatLngFromPoint converts a unit vector back to degrees.
+func LatLngFromPoint(p Point) LatLng {
+	lat := math.Atan2(p.Z, math.Sqrt(p.X*p.X+p.Y*p.Y))
+	lng := math.Atan2(p.Y, p.X)
+	return LatLng{Lat: lat * 180 / math.Pi, Lng: lng * 180 / math.Pi}
+}
+
+// Dot returns the inner product of two vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Cross returns the cross product of two vectors.
+func (p Point) Cross(q Point) Point {
+	return Point{
+		X: p.Y*q.Z - p.Z*q.Y,
+		Y: p.Z*q.X - p.X*q.Z,
+		Z: p.X*q.Y - p.Y*q.X,
+	}
+}
+
+// Norm returns the Euclidean length of the vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// Normalize returns the unit vector in the direction of p. The zero vector
+// is returned unchanged.
+func (p Point) Normalize() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return Point{X: p.X / n, Y: p.Y / n, Z: p.Z / n}
+}
+
+// Angle returns the angle between two unit vectors in radians, computed
+// with atan2 for numerical stability near 0 and pi.
+func (p Point) Angle(q Point) float64 {
+	return math.Atan2(p.Cross(q).Norm(), p.Dot(q))
+}
+
+// GreatCircleKm returns the great-circle distance between two geographic
+// positions in kilometers.
+func GreatCircleKm(a, b LatLng) float64 {
+	return PointFromLatLng(a).Angle(PointFromLatLng(b)) * EarthRadiusKm
+}

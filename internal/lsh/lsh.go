@@ -1,0 +1,265 @@
+// Package lsh implements SLIM's locality-sensitive-hashing filter (Sec. 4):
+// each mobility history is summarized as a signature of dominating grid
+// cells (one per non-overlapping query time window), the signatures are
+// divided into b bands of r rows with b solved from the Lambert W function,
+// and each band is hashed into a large bucket array. Only cross-dataset
+// pairs that share a bucket in at least one band become linkage candidates,
+// which is what delivers the paper's two-to-four orders of magnitude
+// speedup.
+package lsh
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"slim/internal/geo"
+	"slim/internal/history"
+	"slim/internal/mathx"
+	"slim/internal/model"
+)
+
+// Placeholder marks query windows in which the entity has no records. Per
+// the paper, placeholders keep signature structure aligned across entities
+// but are omitted when hashing.
+const Placeholder geo.CellID = 0
+
+// Params configures the LSH filter.
+type Params struct {
+	// Threshold is the target signature similarity t: entities whose
+	// signatures agree on at least a t-fraction of dominating cells should
+	// become candidates with high probability.
+	Threshold float64
+	// StepWindows is the query window size in leaf temporal windows (the
+	// "temporal step size" axis of Fig. 8).
+	StepWindows int
+	// SpatialLevel is the grid level of the dominating cells (independent
+	// of the similarity score's spatial level, per Sec. 5.3.1).
+	SpatialLevel int
+	// NumBuckets is the number of hash buckets per band (Fig. 9 axis).
+	NumBuckets int
+}
+
+// DefaultParams mirrors the paper's defaults: t = 0.6, 4096 buckets.
+func DefaultParams(stepWindows, spatialLevel int) Params {
+	return Params{Threshold: 0.6, StepWindows: stepWindows, SpatialLevel: spatialLevel, NumBuckets: 4096}
+}
+
+// Signature is the ordered list of dominating grid cells of one entity,
+// one entry per query window (Placeholder where the entity was silent).
+type Signature []geo.CellID
+
+// Pair is a candidate entity pair surviving the filter.
+type Pair struct {
+	U model.EntityID
+	V model.EntityID
+}
+
+// Stats reports filter effectiveness.
+type Stats struct {
+	SignatureLen int
+	Bands        int
+	Rows         int
+	// BandsHashed counts (entity, band) hashes actually performed
+	// (placeholder-only bands are skipped).
+	BandsHashed int64
+	// Candidates is the number of distinct cross-dataset candidate pairs.
+	Candidates int64
+}
+
+// SignatureLength returns the number of query windows needed to span the
+// inclusive leaf-window range [minWin, maxWin] with the given step.
+func SignatureLength(minWin, maxWin int64, stepWindows int) int {
+	if stepWindows <= 0 || maxWin < minWin {
+		return 0
+	}
+	span := maxWin - minWin + 1
+	return int((span + int64(stepWindows) - 1) / int64(stepWindows))
+}
+
+// Bands solves the banding parameters for a signature length s and target
+// threshold t: b = exp(W(-s·ln t)) rounded and clamped into [1, s], and
+// r = ceil(s/b) (the final band may be short; Design decision 6).
+func Bands(sigLen int, t float64) (b, r int) {
+	if sigLen <= 0 {
+		return 0, 0
+	}
+	t = mathx.Clamp(t, 1e-6, 1-1e-6)
+	w, err := mathx.LambertW0(-float64(sigLen) * math.Log(t))
+	if err != nil {
+		return 1, sigLen
+	}
+	b = int(math.Round(math.Exp(w)))
+	if b < 1 {
+		b = 1
+	}
+	if b > sigLen {
+		b = sigLen
+	}
+	r = (sigLen + b - 1) / b
+	return b, r
+}
+
+// CandidateProbability returns the probability 1-(1-t^r)^b that two
+// signatures with similarity t share at least one identical band.
+func CandidateProbability(t float64, b, r int) float64 {
+	if b <= 0 || r <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-math.Pow(t, float64(r)), float64(b))
+}
+
+// BuildSignatures computes a signature for every entity of the store by
+// querying each history's dominating cell for consecutive non-overlapping
+// query windows covering [minWin, maxWin] (the union range of the two
+// datasets, so that query q means the same time span on both sides).
+//
+// The store must have been built at the desired signature spatial level.
+func BuildSignatures(s *history.Store, stepWindows int, minWin, maxWin int64) map[model.EntityID]Signature {
+	n := SignatureLength(minWin, maxWin, stepWindows)
+	out := make(map[model.EntityID]Signature, s.NumEntities())
+	for _, e := range s.Entities() {
+		h := s.History(e)
+		sig := make(Signature, n)
+		for q := 0; q < n; q++ {
+			start := minWin + int64(q)*int64(stepWindows)
+			end := start + int64(stepWindows)
+			if end > maxWin+1 {
+				end = maxWin + 1
+			}
+			if cell, ok := h.DominatingCell(start, end); ok {
+				sig[q] = cell
+			} else {
+				sig[q] = Placeholder
+			}
+		}
+		out[e] = sig
+	}
+	return out
+}
+
+// SignatureSimilarity is the fraction of positions on which both
+// signatures carry the same non-placeholder dominating cell, divided by
+// the signature size (Sec. 4: "the number of matching dominating cells,
+// divided by the signature size").
+func SignatureSimilarity(a, b Signature) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] != Placeholder && a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+// CandidatePairs runs the banding technique over the two signature sets and
+// returns the distinct cross-dataset pairs that share a bucket in at least
+// one band, sorted for determinism.
+func CandidatePairs(sigsE, sigsI map[model.EntityID]Signature, p Params) ([]Pair, Stats) {
+	var st Stats
+	if len(sigsE) == 0 || len(sigsI) == 0 {
+		return nil, st
+	}
+	sigLen := 0
+	for _, sig := range sigsE {
+		sigLen = len(sig)
+		break
+	}
+	b, r := Bands(sigLen, p.Threshold)
+	st.SignatureLen = sigLen
+	st.Bands = b
+	st.Rows = r
+	if b == 0 {
+		return nil, st
+	}
+	numBuckets := p.NumBuckets
+	if numBuckets <= 0 {
+		numBuckets = 4096
+	}
+
+	// Deterministic iteration: sort entity ids.
+	esIDs := sortedIDs(sigsE)
+	isIDs := sortedIDs(sigsI)
+
+	seen := make(map[Pair]struct{})
+	var pairs []Pair
+	for band := 0; band < b; band++ {
+		lo := band * r
+		hi := lo + r
+		if hi > sigLen {
+			hi = sigLen
+		}
+		if lo >= hi {
+			continue
+		}
+		buckets := make(map[uint64][]model.EntityID)
+		for _, e := range esIDs {
+			if h, ok := bandHash(sigsE[e], band, lo, hi, numBuckets); ok {
+				buckets[h] = append(buckets[h], e)
+				st.BandsHashed++
+			}
+		}
+		for _, i := range isIDs {
+			h, ok := bandHash(sigsI[i], band, lo, hi, numBuckets)
+			if !ok {
+				continue
+			}
+			st.BandsHashed++
+			for _, e := range buckets[h] {
+				pr := Pair{U: e, V: i}
+				if _, dup := seen[pr]; !dup {
+					seen[pr] = struct{}{}
+					pairs = append(pairs, pr)
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].U != pairs[b].U {
+			return pairs[a].U < pairs[b].U
+		}
+		return pairs[a].V < pairs[b].V
+	})
+	st.Candidates = int64(len(pairs))
+	return pairs, st
+}
+
+// bandHash hashes the non-placeholder rows of one band; ok is false when
+// the band holds only placeholders (such bands are never hashed, so two
+// entirely silent entities do not collide).
+func bandHash(sig Signature, band, lo, hi, numBuckets int) (uint64, bool) {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(v >> (8 * k))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	write(uint64(band))
+	any := false
+	for row := lo; row < hi && row < len(sig); row++ {
+		if sig[row] == Placeholder {
+			continue
+		}
+		any = true
+		write(uint64(row))
+		write(uint64(sig[row]))
+	}
+	if !any {
+		return 0, false
+	}
+	return h.Sum64() % uint64(numBuckets), true
+}
+
+func sortedIDs(sigs map[model.EntityID]Signature) []model.EntityID {
+	out := make([]model.EntityID, 0, len(sigs))
+	for id := range sigs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,240 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slim/internal/model"
+)
+
+func edge(u, v string, w float64) Edge {
+	return Edge{U: model.EntityID(u), V: model.EntityID(v), W: w}
+}
+
+func TestGreedyPicksHighestFirst(t *testing.T) {
+	edges := []Edge{
+		edge("u1", "v1", 10),
+		edge("u1", "v2", 9),
+		edge("u2", "v1", 8),
+		edge("u2", "v2", 1),
+	}
+	got := Greedy(edges)
+	if len(got) != 2 {
+		t.Fatalf("matched %d edges, want 2", len(got))
+	}
+	if got[0] != edge("u1", "v1", 10) || got[1] != edge("u2", "v2", 1) {
+		t.Errorf("greedy result = %v", got)
+	}
+	if !Valid(got) {
+		t.Error("greedy produced an invalid matching")
+	}
+}
+
+func TestGreedyDeterministicTies(t *testing.T) {
+	edges := []Edge{
+		edge("u2", "v2", 5),
+		edge("u1", "v1", 5),
+		edge("u1", "v2", 5),
+		edge("u2", "v1", 5),
+	}
+	first := Greedy(edges)
+	for i := 0; i < 10; i++ {
+		// Shuffle the input: result must not change.
+		r := rand.New(rand.NewSource(int64(i)))
+		shuffled := append([]Edge(nil), edges...)
+		r.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		got := Greedy(shuffled)
+		if len(got) != len(first) {
+			t.Fatal("tie handling not deterministic (length)")
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("tie handling not deterministic: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+func TestGreedyDoesNotMutateInput(t *testing.T) {
+	edges := []Edge{edge("b", "y", 1), edge("a", "x", 2)}
+	_ = Greedy(edges)
+	if edges[0] != edge("b", "y", 1) || edges[1] != edge("a", "x", 2) {
+		t.Error("input slice was reordered")
+	}
+}
+
+func TestGreedyEmptyAndSingle(t *testing.T) {
+	if got := Greedy(nil); len(got) != 0 {
+		t.Error("empty input should give empty matching")
+	}
+	got := Greedy([]Edge{edge("u", "v", 3)})
+	if len(got) != 1 || got[0].W != 3 {
+		t.Errorf("single edge mishandled: %v", got)
+	}
+}
+
+func TestFilterThreshold(t *testing.T) {
+	edges := []Edge{edge("a", "x", 5), edge("b", "y", 2), edge("c", "z", 8)}
+	got := FilterThreshold(edges, 4)
+	if len(got) != 2 {
+		t.Fatalf("kept %d, want 2", len(got))
+	}
+	// Strictly above: an edge exactly at the threshold is dropped.
+	got = FilterThreshold(edges, 5)
+	if len(got) != 1 || got[0].U != "c" {
+		t.Errorf("strict threshold misbehaves: %v", got)
+	}
+}
+
+func TestValidDetectsConflicts(t *testing.T) {
+	if !Valid([]Edge{edge("a", "x", 1), edge("b", "y", 1)}) {
+		t.Error("disjoint edges should be valid")
+	}
+	if Valid([]Edge{edge("a", "x", 1), edge("a", "y", 1)}) {
+		t.Error("shared U endpoint should be invalid")
+	}
+	if Valid([]Edge{edge("a", "x", 1), edge("b", "x", 1)}) {
+		t.Error("shared V endpoint should be invalid")
+	}
+}
+
+func TestHungarianBeatsGreedyWhenGreedyIsSuboptimal(t *testing.T) {
+	// Classic greedy trap: greedy takes (u1,v1,10) and is left with
+	// (u2,v2,1): total 11. Optimal is (u1,v2,9)+(u2,v1,8) = 17.
+	edges := []Edge{
+		edge("u1", "v1", 10),
+		edge("u1", "v2", 9),
+		edge("u2", "v1", 8),
+		edge("u2", "v2", 1),
+	}
+	greedy := Greedy(edges)
+	exact := Hungarian(edges)
+	if !Valid(exact) {
+		t.Fatal("hungarian produced invalid matching")
+	}
+	gw, ew := TotalWeight(greedy), TotalWeight(exact)
+	if math.Abs(ew-17) > 1e-9 {
+		t.Errorf("hungarian total = %g, want 17", ew)
+	}
+	if ew < gw {
+		t.Errorf("exact matching %g worse than greedy %g", ew, gw)
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// More U entities than V: only |V| links possible.
+	edges := []Edge{
+		edge("u1", "v1", 4),
+		edge("u2", "v1", 6),
+		edge("u3", "v1", 5),
+	}
+	got := Hungarian(edges)
+	if len(got) != 1 || got[0].U != "u2" {
+		t.Errorf("hungarian rectangular = %v, want single edge u2-v1", got)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := Hungarian(nil); got != nil {
+		t.Errorf("empty input should give nil, got %v", got)
+	}
+}
+
+func TestHungarianNeverWorseThanGreedyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := 2 + r.Intn(6)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if r.Float64() < 0.7 {
+					edges = append(edges, edge(
+						fmt.Sprintf("u%d", i), fmt.Sprintf("v%d", j),
+						math.Round(r.Float64()*100)/10))
+				}
+			}
+		}
+		g := Greedy(edges)
+		h := Hungarian(edges)
+		return Valid(h) && TotalWeight(h) >= TotalWeight(g)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMatchingPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var edges []Edge
+		n := r.Intn(20)
+		for k := 0; k < n; k++ {
+			edges = append(edges, edge(
+				fmt.Sprintf("u%d", r.Intn(8)), fmt.Sprintf("v%d", r.Intn(8)),
+				r.Float64()*100))
+		}
+		m := Greedy(edges)
+		if !Valid(m) {
+			return false
+		}
+		// Greedy must at least match the single best edge.
+		if len(edges) > 0 {
+			best := edges[0].W
+			for _, e := range edges {
+				if e.W > best {
+					best = e.W
+				}
+			}
+			if len(m) == 0 || m[0].W != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if TotalWeight(nil) != 0 {
+		t.Error("empty total should be 0")
+	}
+	if got := TotalWeight([]Edge{edge("a", "x", 1.5), edge("b", "y", 2.5)}); got != 4 {
+		t.Errorf("TotalWeight = %g", got)
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var edges []Edge
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 200; j++ {
+			if r.Float64() < 0.1 {
+				edges = append(edges, edge(fmt.Sprintf("u%d", i), fmt.Sprintf("v%d", j), r.Float64()))
+			}
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_ = Greedy(edges)
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	var edges []Edge
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			edges = append(edges, edge(fmt.Sprintf("u%d", i), fmt.Sprintf("v%d", j), r.Float64()))
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_ = Hungarian(edges)
+	}
+}

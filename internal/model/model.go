@@ -1,0 +1,182 @@
+// Package model defines the core data types shared by every SLIM
+// subsystem: location records, location datasets, and the temporal window
+// arithmetic that aligns both datasets onto one window grid.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slim/internal/geo"
+)
+
+// EntityID identifies an entity within one dataset. Ids are anonymized and
+// therefore carry no cross-dataset meaning; linkage is the whole point.
+type EntityID string
+
+// Record is one usage record of a location-based service: the triple
+// {u, l, t} of Sec. 2.1.
+type Record struct {
+	Entity EntityID
+	LatLng geo.LatLng
+	// Unix is the record timestamp in seconds since the epoch.
+	Unix int64
+	// RadiusKm, when positive, marks the record location as a region (a
+	// cap of this radius around LatLng) rather than a point. Region
+	// records are copied into every covered history cell with fractional
+	// weights, per the extension described in Sec. 2.1 of the paper.
+	RadiusKm float64
+}
+
+// Time returns the record timestamp as a time.Time in UTC.
+func (r Record) Time() time.Time { return time.Unix(r.Unix, 0).UTC() }
+
+// Dataset is a collection of usage records from one location-based service.
+type Dataset struct {
+	Name    string
+	Records []Record
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// ByEntity groups records by entity id. Each entity's records are sorted by
+// time (ties broken by latitude/longitude for determinism).
+func (d *Dataset) ByEntity() map[EntityID][]Record {
+	m := make(map[EntityID][]Record)
+	for _, r := range d.Records {
+		m[r.Entity] = append(m[r.Entity], r)
+	}
+	for _, recs := range m {
+		sortRecords(recs)
+	}
+	return m
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Unix != recs[j].Unix {
+			return recs[i].Unix < recs[j].Unix
+		}
+		if recs[i].LatLng.Lat != recs[j].LatLng.Lat {
+			return recs[i].LatLng.Lat < recs[j].LatLng.Lat
+		}
+		return recs[i].LatLng.Lng < recs[j].LatLng.Lng
+	})
+}
+
+// Entities returns the sorted list of distinct entity ids.
+func (d *Dataset) Entities() []EntityID {
+	seen := make(map[EntityID]struct{})
+	for _, r := range d.Records {
+		seen[r.Entity] = struct{}{}
+	}
+	out := make([]EntityID, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TimeRange returns the inclusive [min, max] record timestamps; ok is false
+// for an empty dataset.
+func (d *Dataset) TimeRange() (minUnix, maxUnix int64, ok bool) {
+	if len(d.Records) == 0 {
+		return 0, 0, false
+	}
+	minUnix, maxUnix = d.Records[0].Unix, d.Records[0].Unix
+	for _, r := range d.Records[1:] {
+		if r.Unix < minUnix {
+			minUnix = r.Unix
+		}
+		if r.Unix > maxUnix {
+			maxUnix = r.Unix
+		}
+	}
+	return minUnix, maxUnix, true
+}
+
+// FilterMinRecords returns a copy of the dataset keeping only entities with
+// strictly more than minRecords records, mirroring the paper's "ignore an
+// entity if it does not have more than 5 records".
+func (d *Dataset) FilterMinRecords(minRecords int) Dataset {
+	counts := make(map[EntityID]int)
+	for _, r := range d.Records {
+		counts[r.Entity]++
+	}
+	out := Dataset{Name: d.Name}
+	for _, r := range d.Records {
+		if counts[r.Entity] > minRecords {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Validate checks every record for a valid position and entity id.
+func (d *Dataset) Validate() error {
+	for i, r := range d.Records {
+		if r.Entity == "" {
+			return fmt.Errorf("model: record %d of %q has empty entity id", i, d.Name)
+		}
+		if !r.LatLng.IsValid() {
+			return fmt.Errorf("model: record %d of %q has invalid position %+v", i, d.Name, r.LatLng)
+		}
+	}
+	return nil
+}
+
+// Windowing aligns timestamps onto a shared grid of fixed-width temporal
+// windows. Both datasets of a linkage share one Windowing so that "same
+// temporal window" is well-defined across them (Design decision 7).
+type Windowing struct {
+	// Epoch is the unix time of the left edge of window 0.
+	Epoch int64
+	// WidthSeconds is the temporal window width |w|.
+	WidthSeconds int64
+}
+
+// NewWindowing builds a windowing whose epoch is the earliest record time
+// across the given datasets, rounded down to a width boundary.
+func NewWindowing(widthSeconds int64, datasets ...*Dataset) Windowing {
+	if widthSeconds <= 0 {
+		widthSeconds = 1
+	}
+	var minUnix int64
+	found := false
+	for _, d := range datasets {
+		lo, _, ok := d.TimeRange()
+		if !ok {
+			continue
+		}
+		if !found || lo < minUnix {
+			minUnix = lo
+			found = true
+		}
+	}
+	if !found {
+		minUnix = 0
+	}
+	epoch := minUnix - ((minUnix%widthSeconds)+widthSeconds)%widthSeconds
+	return Windowing{Epoch: epoch, WidthSeconds: widthSeconds}
+}
+
+// Window returns the index of the window containing the given unix time.
+func (w Windowing) Window(unix int64) int64 {
+	d := unix - w.Epoch
+	if d < 0 {
+		// Floor division for times before the epoch.
+		return -((-d + w.WidthSeconds - 1) / w.WidthSeconds)
+	}
+	return d / w.WidthSeconds
+}
+
+// Start returns the unix time of the left edge of the given window.
+func (w Windowing) Start(window int64) int64 {
+	return w.Epoch + window*w.WidthSeconds
+}
+
+// WidthMinutes returns the window width in (possibly fractional) minutes.
+func (w Windowing) WidthMinutes() float64 { return float64(w.WidthSeconds) / 60 }

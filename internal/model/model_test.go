@@ -1,0 +1,210 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slim/internal/geo"
+)
+
+func rec(e string, lat, lng float64, unix int64) Record {
+	return Record{Entity: EntityID(e), LatLng: geo.LatLng{Lat: lat, Lng: lng}, Unix: unix}
+}
+
+func TestByEntitySortsAndGroups(t *testing.T) {
+	d := Dataset{Name: "t", Records: []Record{
+		rec("b", 1, 1, 30),
+		rec("a", 2, 2, 20),
+		rec("a", 3, 3, 10),
+		rec("b", 4, 4, 10),
+	}}
+	m := d.ByEntity()
+	if len(m) != 2 {
+		t.Fatalf("groups = %d, want 2", len(m))
+	}
+	a := m["a"]
+	if len(a) != 2 || a[0].Unix != 10 || a[1].Unix != 20 {
+		t.Errorf("entity a records not time-sorted: %+v", a)
+	}
+}
+
+func TestByEntityDeterministicTies(t *testing.T) {
+	d := Dataset{Records: []Record{
+		rec("a", 5, 9, 10),
+		rec("a", 5, 2, 10),
+		rec("a", 1, 7, 10),
+	}}
+	first := d.ByEntity()["a"]
+	for i := 0; i < 10; i++ {
+		again := d.ByEntity()["a"]
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("tie-broken order is not deterministic")
+			}
+		}
+	}
+}
+
+func TestEntitiesSorted(t *testing.T) {
+	d := Dataset{Records: []Record{rec("z", 0, 0, 0), rec("a", 0, 0, 0), rec("m", 0, 0, 0), rec("a", 0, 0, 1)}}
+	got := d.Entities()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("Entities() = %v", got)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	d := Dataset{Records: []Record{rec("a", 0, 0, 50), rec("b", 0, 0, 10), rec("c", 0, 0, 99)}}
+	lo, hi, ok := d.TimeRange()
+	if !ok || lo != 10 || hi != 99 {
+		t.Errorf("TimeRange = (%d, %d, %v)", lo, hi, ok)
+	}
+	empty := Dataset{}
+	if _, _, ok := empty.TimeRange(); ok {
+		t.Error("empty dataset should report ok=false")
+	}
+}
+
+func TestFilterMinRecords(t *testing.T) {
+	d := Dataset{Records: []Record{
+		rec("keep", 0, 0, 1), rec("keep", 0, 0, 2), rec("keep", 0, 0, 3),
+		rec("drop", 0, 0, 1), rec("drop", 0, 0, 2),
+	}}
+	out := d.FilterMinRecords(2)
+	if len(out.Records) != 3 {
+		t.Fatalf("kept %d records, want 3", len(out.Records))
+	}
+	for _, r := range out.Records {
+		if r.Entity != "keep" {
+			t.Errorf("unexpected entity %q survived filter", r.Entity)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Dataset{Records: []Record{rec("a", 1, 2, 3)}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad := Dataset{Records: []Record{{Entity: "", LatLng: geo.LatLng{}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty entity id should fail validation")
+	}
+	badPos := Dataset{Records: []Record{rec("a", 91, 0, 0)}}
+	if err := badPos.Validate(); err == nil {
+		t.Error("out-of-range latitude should fail validation")
+	}
+}
+
+func TestWindowingAlignment(t *testing.T) {
+	d1 := Dataset{Records: []Record{rec("a", 0, 0, 1000)}}
+	d2 := Dataset{Records: []Record{rec("b", 0, 0, 1900)}}
+	w := NewWindowing(900, &d1, &d2) // 15-minute windows
+	if w.Epoch%900 != 0 {
+		t.Errorf("epoch %d not aligned to width", w.Epoch)
+	}
+	if w.Epoch > 1000 {
+		t.Errorf("epoch %d after earliest record", w.Epoch)
+	}
+	if w.Window(1000) != 0 {
+		t.Errorf("earliest record should land in window 0, got %d", w.Window(1000))
+	}
+	if w.Window(1900) != w.Window(1000)+1 {
+		t.Errorf("records 900s apart should be one window apart")
+	}
+	if got := w.Start(w.Window(1000)); got > 1000 || got+900 <= 1000 {
+		t.Errorf("Start/Window inconsistent: start %d for t=1000", got)
+	}
+	if w.WidthMinutes() != 15 {
+		t.Errorf("WidthMinutes = %g", w.WidthMinutes())
+	}
+}
+
+func TestWindowingNegativeTimes(t *testing.T) {
+	w := Windowing{Epoch: 0, WidthSeconds: 60}
+	if w.Window(-1) != -1 {
+		t.Errorf("Window(-1) = %d, want -1", w.Window(-1))
+	}
+	if w.Window(-60) != -1 {
+		t.Errorf("Window(-60) = %d, want -1", w.Window(-60))
+	}
+	if w.Window(-61) != -2 {
+		t.Errorf("Window(-61) = %d, want -2", w.Window(-61))
+	}
+}
+
+func TestWindowingQuickConsistency(t *testing.T) {
+	w := Windowing{Epoch: 86400, WidthSeconds: 900}
+	f := func(offset int32) bool {
+		unix := int64(offset)
+		win := w.Window(unix)
+		start := w.Start(win)
+		return start <= unix && unix < start+w.WidthSeconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewWindowingDegenerate(t *testing.T) {
+	w := NewWindowing(0)
+	if w.WidthSeconds != 1 {
+		t.Error("zero width should clamp to 1")
+	}
+	empty := Dataset{}
+	w = NewWindowing(900, &empty)
+	if w.Epoch != 0 {
+		t.Errorf("empty datasets should give epoch 0, got %d", w.Epoch)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Dataset{Name: "rt", Records: []Record{
+		rec("cab-1", 37.7749, -122.4194, 1210000000),
+		rec("cab-2", 37.78, -122.41, 1210000100),
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(d.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Records), len(d.Records))
+	}
+	for i := range d.Records {
+		if got.Records[i] != d.Records[i] {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"entity,lat,lng,unix\na,bad,0,0\n",
+		"entity,lat,lng,unix\na,0,bad,0\n",
+		"entity,lat,lng,unix\na,0,0,bad\n",
+		"a,0,0\n", // wrong field count
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "x"); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+	// No header is fine.
+	d, err := ReadCSV(strings.NewReader("a,1,2,3\n"), "x")
+	if err != nil || len(d.Records) != 1 {
+		t.Errorf("headerless csv should parse: %v", err)
+	}
+}
+
+func TestRecordTime(t *testing.T) {
+	r := rec("a", 0, 0, 0)
+	if !r.Time().Equal(r.Time()) || r.Time().Unix() != 0 {
+		t.Error("Time() should reflect the unix stamp")
+	}
+}

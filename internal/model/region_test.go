@@ -1,0 +1,68 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slim/internal/geo"
+)
+
+func TestCSVRegionRoundTrip(t *testing.T) {
+	d := Dataset{Name: "rt", Records: []Record{
+		{Entity: "a", LatLng: geo.LatLng{Lat: 37.7, Lng: -122.4}, Unix: 100, RadiusKm: 2.5},
+		{Entity: "b", LatLng: geo.LatLng{Lat: 37.8, Lng: -122.3}, Unix: 200},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "radius_km") {
+		t.Errorf("region dataset must write the radius column:\n%s", out)
+	}
+	got, err := ReadCSV(strings.NewReader(out), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("lost records")
+	}
+	if got.Records[0].RadiusKm != 2.5 || got.Records[1].RadiusKm != 0 {
+		t.Errorf("radius round trip: %+v", got.Records)
+	}
+}
+
+func TestCSVPointDatasetsOmitRadiusColumn(t *testing.T) {
+	d := Dataset{Name: "p", Records: []Record{
+		{Entity: "a", LatLng: geo.LatLng{Lat: 1, Lng: 2}, Unix: 3},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "radius") {
+		t.Errorf("point-only dataset should keep the 4-column layout:\n%s", buf.String())
+	}
+}
+
+func TestCSVReadRejectsBadRadius(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,1,2,3,notanumber\n"), "x"); err == nil {
+		t.Error("garbage radius should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,1,2,3,-5\n"), "x"); err == nil {
+		t.Error("negative radius should error")
+	}
+	// Wrong field counts.
+	if _, err := ReadCSV(strings.NewReader("a,1,2\n"), "x"); err == nil {
+		t.Error("3 fields should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,1,2,3,4,5\n"), "x"); err == nil {
+		t.Error("6 fields should error")
+	}
+	// Empty radius field is allowed (treated as a point).
+	d, err := ReadCSV(strings.NewReader("a,1,2,3,\n"), "x")
+	if err != nil || d.Records[0].RadiusKm != 0 {
+		t.Errorf("empty radius should parse as point: %v %v", d, err)
+	}
+}

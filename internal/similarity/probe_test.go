@@ -1,0 +1,107 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"slim/internal/geo"
+	"slim/internal/history"
+	"slim/internal/model"
+)
+
+func TestProbeRatioIdenticalMovementIsOne(t *testing.T) {
+	eRecs := []model.Record{rec("u", sf, 100), rec("u", oakland, 1000), fill("zf")}
+	iRecs := []model.Record{rec("v", sf, 130), rec("v", oakland, 1030), fill("zf")}
+	e, i := stores(12, eRecs, iRecs)
+	s := NewScorer(e, i, defParams())
+	ratio, ok := s.ProbeRatio("u", "v")
+	if !ok {
+		t.Fatal("shared evidence must be usable")
+	}
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Errorf("identical movement ratio = %g, want 1", ratio)
+	}
+}
+
+func TestProbeRatioDecreasesWithDistance(t *testing.T) {
+	mk := func(ll geo.LatLng) (*history.Store, *history.Store) {
+		eRecs := []model.Record{rec("u", sf, 100), fill("zf")}
+		iRecs := []model.Record{rec("v", ll, 130), fill("zf")}
+		return stores(13, eRecs, iRecs)
+	}
+	e1, i1 := mk(sfNear) // ~1.4 km
+	e2, i2 := mk(oakland)
+	near, ok1 := NewScorer(e1, i1, defParams()).ProbeRatio("u", "v")
+	far, ok2 := NewScorer(e2, i2, defParams()).ProbeRatio("u", "v")
+	if !ok1 || !ok2 {
+		t.Fatal("both probes must have evidence")
+	}
+	if far >= near {
+		t.Errorf("ratio should fall with distance: near=%g far=%g", near, far)
+	}
+	if near > 1 || far > 1 {
+		t.Errorf("ratios must not exceed 1: near=%g far=%g", near, far)
+	}
+}
+
+func TestProbeRatioNoSharedEvidence(t *testing.T) {
+	// Disjoint windows: no common evidence → ok=false.
+	eRecs := []model.Record{rec("u", sf, 100), fill("zf")}
+	iRecs := []model.Record{rec("v", sf, 500000), fill("zf")}
+	e, i := stores(12, eRecs, iRecs)
+	if _, ok := NewScorer(e, i, defParams()).ProbeRatio("u", "v"); ok {
+		t.Error("disjoint windows should report ok=false")
+	}
+	// Unknown entities too.
+	if _, ok := NewScorer(e, i, defParams()).ProbeRatio("nope", "v"); ok {
+		t.Error("unknown entity should report ok=false")
+	}
+}
+
+func TestProbeRatioZeroIDFMeansNoSignal(t *testing.T) {
+	// Every entity shares the single bin → IDF 0 → den 0 → no signal.
+	eRecs := []model.Record{rec("u", sf, 100), rec("w", sf, 100)}
+	iRecs := []model.Record{rec("v", sf, 100), rec("x", sf, 100)}
+	e, i := stores(8, eRecs, iRecs)
+	if _, ok := NewScorer(e, i, defParams()).ProbeRatio("u", "v"); ok {
+		t.Error("universal bins carry no IDF weight → ok should be false")
+	}
+	// Without IDF weighting the same probe has signal again.
+	p := defParams()
+	p.UseIDF = false
+	ratio, ok := NewScorer(e, i, p).ProbeRatio("u", "v")
+	if !ok || math.Abs(ratio-1) > 1e-9 {
+		t.Errorf("unweighted probe should be (1, true), got (%g, %v)", ratio, ok)
+	}
+}
+
+func TestProbeRatioAlibiGoesNegative(t *testing.T) {
+	eRecs := []model.Record{rec("u", sf, 100), fill("zf")}
+	iRecs := []model.Record{rec("v", la, 130), fill("zf")}
+	e, i := stores(12, eRecs, iRecs)
+	ratio, ok := NewScorer(e, i, defParams()).ProbeRatio("u", "v")
+	if !ok {
+		t.Fatal("alibi evidence is still evidence")
+	}
+	if ratio >= 0 {
+		t.Errorf("impossible-movement pair should probe negative, got %g", ratio)
+	}
+}
+
+func TestProbeRatioDeterministic(t *testing.T) {
+	eRecs := []model.Record{
+		rec("u", sf, 100), rec("u", sfNear, 150),
+		rec("u", oakland, 1000), fill("zf"),
+	}
+	iRecs := []model.Record{
+		rec("v", sfNear, 120), rec("v", oakland, 1010), fill("zf"),
+	}
+	e, i := stores(14, eRecs, iRecs)
+	s := NewScorer(e, i, defParams())
+	first, _ := s.ProbeRatio("u", "v")
+	for k := 0; k < 10; k++ {
+		if again, _ := s.ProbeRatio("u", "v"); again != first {
+			t.Fatal("probe ratio not deterministic")
+		}
+	}
+}

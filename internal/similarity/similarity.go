@@ -1,0 +1,436 @@
+// Package similarity implements SLIM's mobility-history similarity score
+// (Sec. 3.1): the time-location bin proximity function P (Eq. 1), the
+// mutually-nearest-neighbor pairing N and mutually-furthest-neighbor
+// pairing N′ (alibi detection), the IDF uniqueness award (Eq. 3), and the
+// BM25-style history-length normalization L, aggregated into the score
+// S(u,v) of Eq. 2.
+//
+// The scorer also exposes the ablation switches exercised by the paper's
+// Sec. 5.4 study: all-pairs pairing instead of MNN, disabling the optional
+// MFN pass, disabling IDF, and disabling normalization.
+package similarity
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"slim/internal/geo"
+	"slim/internal/history"
+	"slim/internal/model"
+)
+
+// PairingMode selects how time-location bin pairs are formed per window.
+type PairingMode int
+
+const (
+	// PairingMNN is the paper's default: greedy mutually-nearest-neighbor
+	// pairing until the smaller side is exhausted.
+	PairingMNN PairingMode = iota
+	// PairingAllPairs matches every cross pair of bins in the window (the
+	// "All Pairs" ablation of Fig. 10).
+	PairingAllPairs
+)
+
+// DefaultMinLogArg clamps the argument of the log2 in the proximity
+// function so that a single extreme alibi contributes a large but finite
+// penalty (P >= -20) instead of -Inf.
+const DefaultMinLogArg = 1.0 / (1 << 20)
+
+// Params configures the similarity computation.
+type Params struct {
+	// RunawayKm is R: the maximum distance an entity can travel within one
+	// temporal window (window width × maximum speed).
+	RunawayKm float64
+	// B is the BM25-style length-normalization strength in [0, 1].
+	B float64
+	// MinLogArg clamps the proximity log argument (see DefaultMinLogArg).
+	MinLogArg float64
+	// Pairing selects MNN (default) or all-pairs bin pairing.
+	Pairing PairingMode
+	// UseMFN enables the optional mutually-furthest-neighbor alibi pass.
+	UseMFN bool
+	// UseIDF enables the IDF uniqueness award.
+	UseIDF bool
+	// UseNorm enables the history-length normalization.
+	UseNorm bool
+}
+
+// DefaultParams returns the paper's default configuration for the given
+// temporal window width and maximum entity speed (the paper uses
+// 2 km/minute, the US-highway-derived bound).
+func DefaultParams(windowMinutes, maxSpeedKmPerMin float64) Params {
+	return Params{
+		RunawayKm: windowMinutes * maxSpeedKmPerMin,
+		B:         0.5,
+		MinLogArg: DefaultMinLogArg,
+		Pairing:   PairingMNN,
+		UseMFN:    true,
+		UseIDF:    true,
+		UseNorm:   true,
+	}
+}
+
+// Proximity evaluates Eq. 1 for a pair of same-window bins at the given
+// cell distance: log2(2 − min(d/R, 2)), with the log argument clamped at
+// minLogArg. The result is 1 for identical cells, 0 at the runaway
+// distance, and negative (an alibi) beyond it.
+func Proximity(distKm, runawayKm, minLogArg float64) float64 {
+	if runawayKm <= 0 {
+		if distKm == 0 {
+			return 1
+		}
+		return math.Log2(minLogArg)
+	}
+	ratio := distKm / runawayKm
+	if ratio > 2 {
+		ratio = 2
+	}
+	arg := 2 - ratio
+	if arg < minLogArg {
+		arg = minLogArg
+	}
+	return math.Log2(arg)
+}
+
+// Stats accumulates the work counters the paper's evaluation reports.
+// Counters are updated atomically, so one Scorer can be shared by many
+// goroutines.
+type Stats struct {
+	// BinComparisons counts time-location bin pair distance evaluations.
+	BinComparisons int64
+	// RecordComparisons counts the equivalent pairwise record comparisons
+	// (the product of per-window record counts of the two entities), the
+	// measure behind Fig. 4d / 5d / 11d.
+	RecordComparisons int64
+	// AlibiBinPairs counts bin pairs whose proximity was negative.
+	AlibiBinPairs int64
+	// PairsScored counts entity pairs scored.
+	PairsScored int64
+}
+
+// Scorer computes similarity scores between entities of two history stores.
+type Scorer struct {
+	E, I  *history.Store
+	Par   Params
+	stats Stats
+
+	// Distance cache shared across goroutines, sharded to limit contention.
+	shards [distShards]distShard
+}
+
+const distShards = 64
+
+type distShard struct {
+	mu sync.RWMutex
+	m  map[[2]geo.CellID]float64
+}
+
+// NewScorer builds a scorer over the two stores. The stores may be the same
+// object (used for the self-similarity queries of the auto-tuner).
+func NewScorer(e, i *history.Store, p Params) *Scorer {
+	s := &Scorer{E: e, I: i, Par: p}
+	for k := range s.shards {
+		s.shards[k].m = make(map[[2]geo.CellID]float64)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the accumulated work counters.
+func (s *Scorer) Stats() Stats {
+	return Stats{
+		BinComparisons:    atomic.LoadInt64(&s.stats.BinComparisons),
+		RecordComparisons: atomic.LoadInt64(&s.stats.RecordComparisons),
+		AlibiBinPairs:     atomic.LoadInt64(&s.stats.AlibiBinPairs),
+		PairsScored:       atomic.LoadInt64(&s.stats.PairsScored),
+	}
+}
+
+// cellDistance returns the (cached) minimum distance between two cells.
+func (s *Scorer) cellDistance(a, b geo.CellID) float64 {
+	if a == b {
+		return 0
+	}
+	key := [2]geo.CellID{a, b}
+	if b < a {
+		key[0], key[1] = b, a
+	}
+	shard := &s.shards[(uint64(key[0])^uint64(key[1]))%distShards]
+	shard.mu.RLock()
+	d, ok := shard.m[key]
+	shard.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = geo.CellDistanceKm(key[0], key[1])
+	shard.mu.Lock()
+	shard.m[key] = d
+	shard.mu.Unlock()
+	return d
+}
+
+// Score computes S(u, v) per Eq. 2 / Alg. 1 for u in store E and v in
+// store I. Unknown entities score 0.
+func (s *Scorer) Score(u, v model.EntityID) float64 {
+	hu := s.E.History(u)
+	hv := s.I.History(v)
+	if hu == nil || hv == nil {
+		return 0
+	}
+	atomic.AddInt64(&s.stats.PairsScored, 1)
+
+	lu, lv := 1.0, 1.0
+	if s.Par.UseNorm {
+		lu = s.E.NormFactor(u, s.Par.B)
+		lv = s.I.NormFactor(v, s.Par.B)
+	}
+	norm := lu * lv
+	if norm <= 0 {
+		norm = 1
+	}
+
+	var total float64
+	forEachCommonWindow(hu.Windows(), hv.Windows(), func(w int64) {
+		total += s.scoreWindow(hu, hv, w, norm)
+	})
+	return total
+}
+
+// scoreWindow computes the contribution of one common temporal window.
+func (s *Scorer) scoreWindow(hu, hv *history.History, w int64, norm float64) float64 {
+	cellsU := sortedCells(hu.CellsAt(w))
+	cellsV := sortedCells(hv.CellsAt(w))
+	if len(cellsU) == 0 || len(cellsV) == 0 {
+		return 0
+	}
+
+	// Work accounting: every cross bin pair gets a distance evaluation,
+	// and each corresponds to countU×countV record comparisons. Weights
+	// are fractional for region records, so accumulate before rounding.
+	atomic.AddInt64(&s.stats.BinComparisons, int64(len(cellsU)*len(cellsV)))
+	var recsU, recsV float64
+	for _, c := range cellsU {
+		recsU += hu.CellsAt(w)[c]
+	}
+	for _, c := range cellsV {
+		recsV += hv.CellsAt(w)[c]
+	}
+	atomic.AddInt64(&s.stats.RecordComparisons, int64(recsU*recsV+0.5))
+
+	dist := make([][]float64, len(cellsU))
+	for i, cu := range cellsU {
+		dist[i] = make([]float64, len(cellsV))
+		for j, cv := range cellsV {
+			dist[i][j] = s.cellDistance(cu, cv)
+		}
+	}
+
+	binDelta := func(i, j int) float64 {
+		p := Proximity(dist[i][j], s.Par.RunawayKm, s.Par.MinLogArg)
+		if p < 0 {
+			atomic.AddInt64(&s.stats.AlibiBinPairs, 1)
+		}
+		weight := 1.0
+		if s.Par.UseIDF {
+			idfU := s.E.IDF(history.Bin{Window: w, Cell: cellsU[i]})
+			idfV := s.I.IDF(history.Bin{Window: w, Cell: cellsV[j]})
+			weight = math.Min(idfU, idfV)
+		}
+		return p * weight / norm
+	}
+
+	if s.Par.Pairing == PairingAllPairs {
+		var sum float64
+		for i := range cellsU {
+			for j := range cellsV {
+				sum += binDelta(i, j)
+			}
+		}
+		return sum
+	}
+
+	// Mutually-nearest-neighbor pairing N_w (Sec. 3.1.2): repeatedly select
+	// the globally closest unused pair until the smaller side is
+	// exhausted. Implemented as one sort of all cross pairs followed by a
+	// greedy sweep — identical selection, O(nm log nm) instead of
+	// O(min(n,m)·n·m). Ties break on (i, j) index order, which is cell-id
+	// order, keeping scores deterministic.
+	nPairs := len(cellsU)
+	if len(cellsV) < nPairs {
+		nPairs = len(cellsV)
+	}
+	type cand struct{ i, j int }
+	order := make([]cand, 0, len(cellsU)*len(cellsV))
+	for i := range cellsU {
+		for j := range cellsV {
+			order = append(order, cand{i, j})
+		}
+	}
+	less := func(a, b cand) bool {
+		if dist[a.i][a.j] != dist[b.i][b.j] {
+			return dist[a.i][a.j] < dist[b.i][b.j]
+		}
+		if a.i != b.i {
+			return a.i < b.i
+		}
+		return a.j < b.j
+	}
+	sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+
+	usedU := make([]bool, len(cellsU))
+	usedV := make([]bool, len(cellsV))
+	selected := make(map[cand]bool, nPairs)
+	var sum float64
+	taken := 0
+	for _, c := range order {
+		if taken == nPairs {
+			break
+		}
+		if usedU[c.i] || usedV[c.j] {
+			continue
+		}
+		usedU[c.i], usedV[c.j] = true, true
+		selected[c] = true
+		sum += binDelta(c.i, c.j)
+		taken++
+	}
+
+	if !s.Par.UseMFN {
+		return sum
+	}
+
+	// Mutually-furthest-neighbor pass N′_w: same sweep from the far end,
+	// adding only alibi (negative) deltas. Pairs already selected by MNN
+	// are skipped so an alibi is never double counted (Design decision 2).
+	for i := range usedU {
+		usedU[i] = false
+	}
+	for j := range usedV {
+		usedV[j] = false
+	}
+	taken = 0
+	for k := len(order) - 1; k >= 0 && taken < nPairs; k-- {
+		c := order[k]
+		if usedU[c.i] || usedV[c.j] {
+			continue
+		}
+		usedU[c.i], usedV[c.j] = true, true
+		taken++
+		if selected[c] {
+			continue
+		}
+		if delta := binDelta(c.i, c.j); delta < 0 {
+			sum += delta
+		}
+	}
+	return sum
+}
+
+// ProbeRatio supports the spatial-level auto-tuner (Sec. 3.3). It returns
+// the ratio of the pair's actual similarity to the idealized similarity of
+// the same MNN pairing with all distances treated as zero (perfect
+// self-like match). At spatial levels too coarse to distinguish the
+// entities the ratio is 1; it decreases as detail separates them. ok is
+// false when the pair shares no usable evidence (no common windows or all
+// IDF weights zero).
+func (s *Scorer) ProbeRatio(u, v model.EntityID) (ratio float64, ok bool) {
+	hu := s.E.History(u)
+	hv := s.I.History(v)
+	if hu == nil || hv == nil {
+		return 0, false
+	}
+	var num, den float64
+	forEachCommonWindow(hu.Windows(), hv.Windows(), func(w int64) {
+		cellsU := sortedCells(hu.CellsAt(w))
+		cellsV := sortedCells(hv.CellsAt(w))
+		if len(cellsU) == 0 || len(cellsV) == 0 {
+			return
+		}
+		nPairs := len(cellsU)
+		if len(cellsV) < nPairs {
+			nPairs = len(cellsV)
+		}
+		type cand struct{ i, j int }
+		order := make([]cand, 0, len(cellsU)*len(cellsV))
+		dist := make([][]float64, len(cellsU))
+		for i, cu := range cellsU {
+			dist[i] = make([]float64, len(cellsV))
+			for j, cv := range cellsV {
+				dist[i][j] = s.cellDistance(cu, cv)
+				order = append(order, cand{i, j})
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := dist[order[a].i][order[a].j], dist[order[b].i][order[b].j]
+			if da != db {
+				return da < db
+			}
+			if order[a].i != order[b].i {
+				return order[a].i < order[b].i
+			}
+			return order[a].j < order[b].j
+		})
+		usedU := make([]bool, len(cellsU))
+		usedV := make([]bool, len(cellsV))
+		taken := 0
+		for _, c := range order {
+			if taken == nPairs {
+				break
+			}
+			if usedU[c.i] || usedV[c.j] {
+				continue
+			}
+			usedU[c.i], usedV[c.j] = true, true
+			taken++
+			weight := 1.0
+			if s.Par.UseIDF {
+				idfU := s.E.IDF(history.Bin{Window: w, Cell: cellsU[c.i]})
+				idfV := s.I.IDF(history.Bin{Window: w, Cell: cellsV[c.j]})
+				weight = math.Min(idfU, idfV)
+			}
+			num += Proximity(dist[c.i][c.j], s.Par.RunawayKm, s.Par.MinLogArg) * weight
+			den += weight // Proximity(0) == 1
+		}
+	})
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// sortedCells returns the cell ids of a window in ascending order, giving
+// the pairing loops a deterministic iteration order.
+func sortedCells(cells map[geo.CellID]float64) []geo.CellID {
+	if len(cells) == 0 {
+		return nil
+	}
+	out := make([]geo.CellID, 0, len(cells))
+	for c := range cells {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// forEachCommonWindow walks two sorted window slices and invokes fn for
+// every window index present in both.
+func forEachCommonWindow(a, b []int64, fn func(int64)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			fn(a[i])
+			i++
+			j++
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package slim is a from-scratch Go implementation of SLIM — Scalable
+// Linkage of Mobility Data (Basık, Ferhatosmanoğlu, Gedik; SIGMOD 2020).
+//
+// SLIM links entities across two mobility datasets using only their
+// spatio-temporal records: it summarizes each entity as a mobility history
+// (a temporal segment tree of spatial grid cells), filters candidate pairs
+// with an LSH over dominating-cell signatures, scores pairs with an
+// alibi-aware, IDF- and length-normalized proximity aggregation, matches
+// them with maximum-sum bipartite matching, and cuts the matching at an
+// automatically detected stop threshold.
+//
+// Quick start:
+//
+//	res, err := slim.Link(datasetE, datasetI, slim.Defaults())
+//	for _, l := range res.Links {
+//	    fmt.Println(l.U, "<->", l.V, l.Score)
+//	}
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// mapping between the paper and this repository.
+package slim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"slim/internal/history"
+	"slim/internal/lsh"
+	"slim/internal/matching"
+	"slim/internal/model"
+	"slim/internal/similarity"
+	"slim/internal/threshold"
+	"slim/internal/tuning"
+)
+
+// Link is one linked entity pair with its similarity score.
+type Link struct {
+	U     EntityID
+	V     EntityID
+	Score float64
+}
+
+// Stats aggregates the work counters of one linkage run.
+type Stats struct {
+	// CandidatePairs is the number of cross-dataset pairs scored.
+	CandidatePairs int64
+	// PositiveEdges is how many scored pairs produced a positive score.
+	PositiveEdges int64
+	// BinComparisons / RecordComparisons / AlibiBinPairs mirror the
+	// similarity scorer's counters (Fig. 4c/4d instrumentation).
+	BinComparisons    int64
+	RecordComparisons int64
+	AlibiBinPairs     int64
+	// LSH holds filter statistics when the filter was enabled.
+	LSH *LSHStats
+}
+
+// LSHStats reports the candidate filter's effectiveness.
+type LSHStats struct {
+	SignatureLen int
+	Bands        int
+	Rows         int
+	Candidates   int64
+}
+
+// Result is the outcome of a linkage run.
+type Result struct {
+	// Links are the final links (score above the stop threshold), sorted
+	// by descending score.
+	Links []Link
+	// Matched is the full maximum-sum matching before thresholding.
+	Matched []Link
+	// Threshold is the automatically selected stop score; links strictly
+	// above it are kept.
+	Threshold float64
+	// ThresholdMethod reports which detector produced the threshold.
+	ThresholdMethod string
+	// SpatialLevel is the history grid level used (after auto-tuning).
+	SpatialLevel int
+	// Stats carries the work counters.
+	Stats Stats
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Linker is a prepared linkage: histories built, candidates enumerable,
+// pairs scorable. Use NewLinker + Run for the full pipeline, Score for
+// targeted pair scoring (e.g. ranking experiments), and AddE/AddI + Run
+// for dynamic feeds (incremental re-linking).
+type Linker struct {
+	cfg    Config
+	wnd    model.Windowing
+	storeE *history.Store
+	storeI *history.Store
+	scorer *similarity.Scorer
+	// Signature stores for LSH when its spatial level differs from the
+	// similarity level (otherwise they alias storeE/storeI).
+	sigStoreE *history.Store
+	sigStoreI *history.Store
+	// candidates enumerated by LSH; nil means brute force (all pairs).
+	candidates []lsh.Pair
+	lshStats   *LSHStats
+	// lshDirty marks the candidate set stale after incremental adds.
+	lshDirty bool
+	// prevStats snapshots the scorer counters so repeated Run calls report
+	// per-run work.
+	prevStats similarity.Stats
+}
+
+// NewLinker validates the configuration, builds both datasets' mobility
+// histories (auto-tuning the spatial level if requested) and, when LSH is
+// enabled, the candidate pair set.
+func NewLinker(dsE, dsI Dataset, cfg Config) (*Linker, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := dsE.Validate(); err != nil {
+		return nil, fmt.Errorf("slim: dataset E: %w", err)
+	}
+	if err := dsI.Validate(); err != nil {
+		return nil, fmt.Errorf("slim: dataset I: %w", err)
+	}
+	fe := dsE.FilterMinRecords(cfg.MinRecords)
+	fi := dsI.FilterMinRecords(cfg.MinRecords)
+
+	widthSec := int64(cfg.WindowMinutes * 60)
+	if widthSec < 1 {
+		widthSec = 1
+	}
+	wnd := model.NewWindowing(widthSec, &fe, &fi)
+
+	level := cfg.SpatialLevel
+	if level == 0 {
+		opt := tuning.DefaultOptions()
+		opt.WindowSeconds = widthSec
+		opt.MaxSpeedKmPerMin = cfg.MaxSpeedKmPerMin
+		opt.B = cfg.B
+		level, _, _ = tuning.AutoSpatialLevelPair(&fe, &fi, opt)
+		if level == 0 {
+			level = 12
+		}
+	}
+
+	lk := &Linker{cfg: cfg, wnd: wnd}
+	lk.cfg.SpatialLevel = level
+	lk.storeE = history.Build(&fe, wnd, level)
+	lk.storeI = history.Build(&fi, wnd, level)
+
+	params := similarity.DefaultParams(float64(widthSec)/60, cfg.MaxSpeedKmPerMin)
+	params.B = cfg.B
+	params.UseMFN = !cfg.Ablation.DisableMFN
+	params.UseIDF = !cfg.Ablation.DisableIDF
+	params.UseNorm = !cfg.Ablation.DisableNorm
+	if cfg.Ablation.AllPairs {
+		params.Pairing = similarity.PairingAllPairs
+	}
+	lk.scorer = similarity.NewScorer(lk.storeE, lk.storeI, params)
+
+	if cfg.LSH != nil {
+		if err := lk.buildLSHCandidates(&fe, &fi); err != nil {
+			return nil, err
+		}
+	}
+	return lk, nil
+}
+
+// buildLSHCandidates constructs dominating-cell signatures (at the LSH's
+// own spatial level) and enumerates co-bucketed cross pairs.
+func (lk *Linker) buildLSHCandidates(fe, fi *model.Dataset) error {
+	c := lk.cfg.LSH
+	lk.sigStoreE = lk.storeE
+	lk.sigStoreI = lk.storeI
+	if c.SpatialLevel != lk.cfg.SpatialLevel {
+		lk.sigStoreE = history.Build(fe, lk.wnd, c.SpatialLevel)
+		lk.sigStoreI = history.Build(fi, lk.wnd, c.SpatialLevel)
+	}
+	lk.refreshLSHCandidates()
+	return nil
+}
+
+// refreshLSHCandidates recomputes signatures and the candidate pair set
+// from the (possibly incrementally updated) signature stores.
+func (lk *Linker) refreshLSHCandidates() {
+	c := lk.cfg.LSH
+	lk.lshDirty = false
+	minE, maxE, okE := lk.sigStoreE.WindowRange()
+	minI, maxI, okI := lk.sigStoreI.WindowRange()
+	if !okE || !okI {
+		lk.candidates = []lsh.Pair{}
+		lk.lshStats = &LSHStats{}
+		return
+	}
+	minW, maxW := minE, maxE
+	if minI < minW {
+		minW = minI
+	}
+	if maxI > maxW {
+		maxW = maxI
+	}
+	p := lsh.Params{
+		Threshold:    c.Threshold,
+		StepWindows:  c.StepWindows,
+		SpatialLevel: c.SpatialLevel,
+		NumBuckets:   c.NumBuckets,
+	}
+	sigsE := lsh.BuildSignatures(lk.sigStoreE, c.StepWindows, minW, maxW)
+	sigsI := lsh.BuildSignatures(lk.sigStoreI, c.StepWindows, minW, maxW)
+	pairs, st := lsh.CandidatePairs(sigsE, sigsI, p)
+	lk.candidates = pairs
+	lk.lshStats = &LSHStats{
+		SignatureLen: st.SignatureLen,
+		Bands:        st.Bands,
+		Rows:         st.Rows,
+		Candidates:   st.Candidates,
+	}
+}
+
+// AddE ingests new records of the first dataset into the prepared linker,
+// updating histories, IDF statistics and (lazily) the LSH candidates. The
+// next Run reflects the additions. Incremental adds bypass the MinRecords
+// filter applied at construction time; callers streaming sparse entities
+// should batch until entities have enough records to be linkable.
+// Not safe concurrently with Run or Score.
+func (lk *Linker) AddE(recs ...Record) { lk.add(lk.storeE, lk.sigStoreE, recs) }
+
+// AddI ingests new records of the second dataset; see AddE.
+func (lk *Linker) AddI(recs ...Record) { lk.add(lk.storeI, lk.sigStoreI, recs) }
+
+func (lk *Linker) add(store, sigStore *history.Store, recs []Record) {
+	for _, r := range recs {
+		store.Add(r)
+		if sigStore != nil && sigStore != store {
+			sigStore.Add(r)
+		}
+	}
+	if len(recs) > 0 && lk.cfg.LSH != nil {
+		lk.lshDirty = true
+	}
+}
+
+// Windowing exposes the shared temporal grid of the linkage.
+func (lk *Linker) Windowing() model.Windowing { return lk.wnd }
+
+// SpatialLevel reports the history grid level in use.
+func (lk *Linker) SpatialLevel() int { return lk.cfg.SpatialLevel }
+
+// EntitiesE returns the (post-filter) entity ids of the first dataset.
+func (lk *Linker) EntitiesE() []EntityID { return lk.storeE.Entities() }
+
+// EntitiesI returns the (post-filter) entity ids of the second dataset.
+func (lk *Linker) EntitiesI() []EntityID { return lk.storeI.Entities() }
+
+// Score computes the SLIM similarity S(u, v) for one pair on demand.
+func (lk *Linker) Score(u, v EntityID) float64 { return lk.scorer.Score(u, v) }
+
+// CandidatePairs returns the pairs that will be scored: the LSH survivors,
+// or every cross pair when LSH is disabled.
+func (lk *Linker) CandidatePairs() []lsh.Pair {
+	if lk.candidates != nil {
+		return lk.candidates
+	}
+	es := lk.storeE.Entities()
+	is := lk.storeI.Entities()
+	pairs := make([]lsh.Pair, 0, len(es)*len(is))
+	for _, u := range es {
+		for _, v := range is {
+			pairs = append(pairs, lsh.Pair{U: u, V: v})
+		}
+	}
+	return pairs
+}
+
+// Run executes scoring, matching and thresholding and returns the result.
+// It can be called repeatedly, interleaved with AddE/AddI, to re-link a
+// dynamic feed; stats report per-run work.
+func (lk *Linker) Run() Result {
+	start := time.Now()
+	if lk.lshDirty {
+		lk.refreshLSHCandidates()
+	}
+	pairs := lk.CandidatePairs()
+
+	edges := lk.scorePairs(pairs)
+
+	var matched []matching.Edge
+	switch lk.cfg.Matcher {
+	case MatcherHungarian:
+		matched = matching.Hungarian(edges)
+	default:
+		matched = matching.Greedy(edges)
+	}
+
+	weights := make([]float64, len(matched))
+	for i, e := range matched {
+		weights[i] = e.W
+	}
+	var thr threshold.Result
+	switch lk.cfg.Threshold {
+	case ThresholdNone:
+		// Keep every matched edge: edges only exist for positive scores,
+		// so any negative threshold is a no-op filter.
+		thr = threshold.Result{Threshold: -1, Method: "none"}
+	case ThresholdOtsu:
+		thr = threshold.SelectThresholdOtsu(weights)
+	case ThresholdKMeans:
+		thr = threshold.SelectThresholdKMeans(weights)
+	default:
+		thr = threshold.SelectThreshold(weights)
+	}
+	kept := matching.FilterThreshold(matched, thr.Threshold)
+
+	st := lk.scorer.Stats()
+	delta := similarity.Stats{
+		BinComparisons:    st.BinComparisons - lk.prevStats.BinComparisons,
+		RecordComparisons: st.RecordComparisons - lk.prevStats.RecordComparisons,
+		AlibiBinPairs:     st.AlibiBinPairs - lk.prevStats.AlibiBinPairs,
+	}
+	lk.prevStats = st
+	res := Result{
+		Links:           toLinks(kept),
+		Matched:         toLinks(matched),
+		Threshold:       thr.Threshold,
+		ThresholdMethod: string(thr.Method),
+		SpatialLevel:    lk.cfg.SpatialLevel,
+		Stats: Stats{
+			CandidatePairs:    int64(len(pairs)),
+			PositiveEdges:     int64(len(edges)),
+			BinComparisons:    delta.BinComparisons,
+			RecordComparisons: delta.RecordComparisons,
+			AlibiBinPairs:     delta.AlibiBinPairs,
+			LSH:               lk.lshStats,
+		},
+		Elapsed: time.Since(start),
+	}
+	return res
+}
+
+// scorePairs fans candidate pairs across workers and keeps positive edges.
+func (lk *Linker) scorePairs(pairs []lsh.Pair) []matching.Edge {
+	workers := lk.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var edges []matching.Edge
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []lsh.Pair) {
+			defer wg.Done()
+			local := make([]matching.Edge, 0, len(part)/4)
+			for _, p := range part {
+				if s := lk.scorer.Score(p.U, p.V); s > 0 {
+					local = append(local, matching.Edge{U: p.U, V: p.V, W: s})
+				}
+			}
+			mu.Lock()
+			edges = append(edges, local...)
+			mu.Unlock()
+		}(pairs[lo:hi])
+	}
+	wg.Wait()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+func toLinks(edges []matching.Edge) []Link {
+	out := make([]Link, len(edges))
+	for i, e := range edges {
+		out[i] = Link{U: e.U, V: e.V, Score: e.W}
+	}
+	return out
+}
+
+// LinkDatasets runs the full pipeline with one call.
+func LinkDatasets(dsE, dsI Dataset, cfg Config) (Result, error) {
+	lk, err := NewLinker(dsE, dsI, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return lk.Run(), nil
+}
