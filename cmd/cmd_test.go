@@ -5,11 +5,16 @@
 package cmd_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // build compiles one command into dir and returns the binary path.
@@ -125,6 +130,107 @@ func TestCLIExperimentsTiny(t *testing.T) {
 	out, _ = runCmd(t, expBin, "-tiny", "tuning")
 	if !strings.Contains(out, "chosen level") {
 		t.Fatalf("tuning output malformed:\n%s", out)
+	}
+}
+
+// TestCLISlimd boots the linkage service seeded with a generated
+// workload, exercises its HTTP API from the outside, and shuts it down
+// gracefully — the full service lifecycle as a deployment would see it.
+func TestCLISlimd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	genBin := build(t, dir, "slim-gen")
+	slimdBin := build(t, dir, "slimd")
+
+	_, genErr := runCmd(t, genBin,
+		"-kind", "cab", "-taxis", "20", "-days", "2", "-interval", "420",
+		"-sample", "-ratio", "0.5", "-inclusion", "0.6", "-dir", dir, "-seed", "11")
+	if !strings.Contains(genErr, "true pairs") {
+		t.Fatalf("slim-gen summary missing: %s", genErr)
+	}
+
+	cmd := exec.Command(slimdBin,
+		"-addr", "127.0.0.1:0", "-shards", "2", "-debounce", "100ms",
+		"-e", filepath.Join(dir, "E.csv"), "-i", filepath.Join(dir, "I.csv"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The service logs its bound address once it is serving.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.Index(rest, " "); j > 0 {
+					rest = rest[:j]
+				}
+				addrCh <- rest
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("slimd never reported its listen address")
+	}
+
+	get := func(path string, v any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if code := get("/healthz", nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	// The seed datasets are linked at boot.
+	var links struct {
+		Total int `json:"total"`
+	}
+	if code := get("/v1/links", &links); code != 200 || links.Total == 0 {
+		t.Fatalf("GET /v1/links = %d, total %d; want seeded links", code, links.Total)
+	}
+	var stats struct {
+		Shards int    `json:"shards"`
+		Runs   uint64 `json:"runs"`
+	}
+	if code := get("/v1/stats", &stats); code != 200 || stats.Shards != 2 || stats.Runs == 0 {
+		t.Fatalf("GET /v1/stats = %d, %+v", code, stats)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("slimd exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("slimd did not shut down on SIGTERM")
 	}
 }
 

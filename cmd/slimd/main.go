@@ -1,0 +1,152 @@
+// Command slimd serves SLIM linkage as a long-running sharded HTTP
+// service: records stream in over JSON, a debounced background scheduler
+// re-links the dirty shards, and the current links are queryable at any
+// time. See DESIGN.md for the API and curl examples.
+//
+// Usage:
+//
+//	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv] [flags]
+//
+// The service may start empty (stream everything over the API) or seeded
+// with two CSV datasets (entity,lat,lng,unix), which are linked once at
+// boot. Linkage flags mirror slim-link: -window, -level, -max-speed, -b,
+// -min-records, -workers, -matcher, -threshold, and the -lsh family.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slim"
+	"slim/internal/engine"
+	"slim/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		shards   = flag.Int("shards", 4, "number of linker shards")
+		debounce = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
+		ePath    = flag.String("e", "", "optional seed CSV for the first dataset")
+		iPath    = flag.String("i", "", "optional seed CSV for the second dataset")
+
+		window       = flag.Float64("window", 15, "temporal window width in minutes")
+		level        = flag.Int("level", 12, "spatial grid level (0 = auto-tune over the seed datasets)")
+		maxSpeed     = flag.Float64("max-speed", 2, "maximum entity speed in km/min (runaway bound)")
+		b            = flag.Float64("b", 0.5, "history-length normalization strength [0,1]")
+		minRecords   = flag.Int("min-records", 5, "drop seed entities with <= this many records")
+		workers      = flag.Int("workers", 0, "scoring goroutines per shard (0 = GOMAXPROCS)")
+		matcher      = flag.String("matcher", "greedy", "matching algorithm: greedy | hungarian")
+		thresholdM   = flag.String("threshold", "gmm", "stop threshold: gmm | otsu | 2means | none")
+		useLSH       = flag.Bool("lsh", false, "enable the LSH candidate filter")
+		lshThreshold = flag.Float64("lsh-threshold", 0.6, "LSH signature similarity threshold t")
+		lshStep      = flag.Int("lsh-step", 48, "LSH query window size in temporal windows")
+		lshLevel     = flag.Int("lsh-level", 16, "LSH dominating-cell spatial level")
+		lshBuckets   = flag.Int("lsh-buckets", 4096, "LSH buckets per band")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "slimd: ", log.LstdFlags)
+
+	cfg := slim.Config{
+		WindowMinutes:    *window,
+		SpatialLevel:     *level,
+		MaxSpeedKmPerMin: *maxSpeed,
+		B:                *b,
+		MinRecords:       *minRecords,
+		Workers:          *workers,
+		Matcher:          slim.MatcherKind(*matcher),
+		Threshold:        slim.ThresholdMethod(*thresholdM),
+	}
+	if *useLSH {
+		cfg.LSH = &slim.LSHConfig{
+			Threshold:    *lshThreshold,
+			StepWindows:  *lshStep,
+			SpatialLevel: *lshLevel,
+			NumBuckets:   *lshBuckets,
+		}
+	}
+
+	dsE, err := readSeed(*ePath, "E")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	dsI, err := readSeed(*iPath, "I")
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	eng, err := engine.New(dsE, dsI, engine.Config{
+		Shards:   *shards,
+		Link:     cfg,
+		Debounce: *debounce,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Close()
+
+	if dsE.Len() > 0 || dsI.Len() > 0 {
+		res := eng.Run()
+		logger.Printf("seed linkage: %d links (of %d matched) at threshold %.4g in %v",
+			len(res.Links), len(res.Matched), res.Threshold, res.Elapsed)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           server.New(eng, logger).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (%d shards, spatial level %d, debounce %v)",
+		ln.Addr(), eng.NumShards(), eng.SpatialLevel(), *debounce)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+// readSeed loads an optional seed dataset; an empty path yields an empty
+// dataset of the given name.
+func readSeed(path, name string) (slim.Dataset, error) {
+	if path == "" {
+		return slim.Dataset{Name: name}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return slim.Dataset{}, err
+	}
+	defer f.Close()
+	ds, err := slim.ReadDatasetCSV(f, name)
+	if err != nil {
+		return slim.Dataset{}, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,139 @@
+// Example slimd-client drives a running slimd service end to end: it
+// generates the standard synthetic Cab workload, streams both anonymized
+// datasets into the service in batches, triggers a linkage run, pages the
+// links back out, and grades them against the ground truth it kept.
+//
+// Start the service first, then run the client:
+//
+//	go run ./cmd/slimd -addr :8080 &
+//	go run ./examples/slimd-client -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"slim"
+)
+
+type wireRecord struct {
+	Entity string  `json:"entity"`
+	Lat    float64 `json:"lat"`
+	Lng    float64 `json:"lng"`
+	Unix   int64   `json:"unix"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "slimd base URL")
+	taxis := flag.Int("taxis", 24, "synthetic taxis in the ground trace")
+	flag.Parse()
+
+	ground := slim.GenerateCab(slim.CabOptions{
+		NumTaxis: *taxis, Days: 2, MeanRecordIntervalSec: 360, Seed: 99,
+	})
+	w := slim.SampleWorkload(&ground, slim.SampleOptions{
+		IntersectionRatio: 0.5, InclusionProbE: 0.5, InclusionProbI: 0.5, Seed: 100,
+	})
+	fmt.Printf("streaming %d + %d records into %s\n", w.E.Len(), w.I.Len(), *addr)
+
+	ingest(*addr, "e", w.E.Records)
+	ingest(*addr, "i", w.I.Records)
+
+	var run struct {
+		Links     int     `json:"links"`
+		Matched   int     `json:"matched"`
+		Threshold float64 `json:"threshold"`
+		ElapsedMs float64 `json:"elapsed_ms"`
+	}
+	post(*addr+"/v1/link", nil, &run)
+	fmt.Printf("linked: %d links (of %d matched) at threshold %.4g in %.1fms\n",
+		run.Links, run.Matched, run.Threshold, run.ElapsedMs)
+
+	var page struct {
+		Total int `json:"total"`
+		Links []struct {
+			U     string  `json:"u"`
+			V     string  `json:"v"`
+			Score float64 `json:"score"`
+		} `json:"links"`
+	}
+	get(*addr + "/v1/links")(&page)
+	var links []slim.Link
+	for _, l := range page.Links {
+		links = append(links, slim.Link{U: slim.EntityID(l.U), V: slim.EntityID(l.V), Score: l.Score})
+	}
+	m := slim.Evaluate(links, w.Truth)
+	fmt.Printf("graded against ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
+		m.Precision, m.Recall, m.F1)
+	for i, l := range page.Links {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(page.Links)-5)
+			break
+		}
+		fmt.Printf("  %s <-> %s  %.4f\n", l.U, l.V, l.Score)
+	}
+}
+
+// ingest streams one dataset in batches of 500 records.
+func ingest(addr, ds string, recs []slim.Record) {
+	const batch = 500
+	for i := 0; i < len(recs); i += batch {
+		hi := min(i+batch, len(recs))
+		wire := make([]wireRecord, 0, hi-i)
+		for _, r := range recs[i:hi] {
+			wire = append(wire, wireRecord{
+				Entity: string(r.Entity), Lat: r.LatLng.Lat, Lng: r.LatLng.Lng, Unix: r.Unix,
+			})
+		}
+		post(addr+"/v1/datasets/"+ds+"/records", map[string]any{"records": wire}, nil)
+	}
+}
+
+func post(url string, body, out any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		fatal(fmt.Errorf("POST %s: %s: %s", url, resp.Status, msg.String()))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func get(url string) func(any) {
+	return func(out any) {
+		resp, err := http.Get(url)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			fatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slimd-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module slim
+
+go 1.24

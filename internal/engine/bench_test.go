@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"slim"
+)
+
+// The relink benchmarks measure the engine's reason to exist: after a
+// localized ingest burst (new records for entities owned by one shard), a
+// sharded engine re-scores |E_s|x|I| pairs while a single Linker re-scores
+// |E|x|I|. Compare BenchmarkRelinkEngine4Shards against
+// BenchmarkRelinkSingleLinker.
+
+func benchRelink(b *testing.B, run func(baseE, baseI slim.Dataset, tail []slim.Record)) {
+	b.Helper()
+	baseE, baseI, tail := relinkFixture(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(baseE, baseI, tail)
+	}
+}
+
+func BenchmarkRelinkSingleLinker(b *testing.B) {
+	benchRelink(b, func(baseE, baseI slim.Dataset, tail []slim.Record) {
+		b.StopTimer()
+		lk, err := slim.NewLinker(baseE, baseI, slim.Defaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lk.Run()
+		b.StartTimer()
+		lk.AddE(tail...)
+		lk.Run()
+	})
+}
+
+func BenchmarkRelinkEngine4Shards(b *testing.B) {
+	benchRelink(b, func(baseE, baseI slim.Dataset, tail []slim.Record) {
+		b.StopTimer()
+		eng, err := New(baseE, baseI, Config{Shards: 4, Link: slim.Defaults()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		b.StartTimer()
+		eng.AddE(tail...)
+		eng.Run()
+	})
+}
+
+// The full-run benchmarks compare one cold end-to-end linkage (construction
+// plus scoring, matching, thresholding); on multi-core hosts the engine
+// additionally builds and scores its shards in parallel.
+
+func BenchmarkFullRunSingleLinker(b *testing.B) {
+	w := standardWorkload(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slim.LinkDatasets(w.E, w.I, slim.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullRunEngine4Shards(b *testing.B) {
+	w := standardWorkload(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := New(w.E, w.I, Config{Shards: 4, Link: slim.Defaults()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,524 @@
+// Package engine turns the batch slim.Linker into the core of a
+// long-running linkage service: a thread-safe, shard-partitioned engine
+// that owns N Linker shards hash-partitioned by first-dataset entity id,
+// accepts concurrent streaming ingest, schedules debounced background
+// re-link runs, and merges per-shard scored edges into one globally
+// matched, thresholded slim.Result.
+//
+// Partitioning scheme. Linkage scores every cross pair E×I, so the engine
+// hash-partitions the E entities across shards and replicates the I
+// dataset into each shard: shard s scores E_s × I, and the union of the
+// shards' positive edges equals the full edge set. Matching and the stop
+// threshold then run once, globally, over the merged edges, preserving
+// the bipartite-matching semantics of the single Linker. The one
+// deliberate approximation is that E-side IDF and length-normalization
+// statistics are shard-local (|U_s| instead of |U|), the standard
+// local-statistics trade-off of sharded retrieval systems; quality parity
+// is exercised by TestEngineQualityMatchesBaseline.
+//
+// Why shard at all: a record batch only dirties the shards owning the
+// touched E entities (an I record dirties every shard), so a streaming
+// re-link re-scores |E_s|×|I| pairs instead of |E|×|I| — the property
+// behind the engine's relink benchmarks — and on multi-core hosts shard
+// construction and re-scoring proceed in parallel.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slim"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 4
+
+// DefaultDebounce is the background relink debounce used when
+// Config.Debounce is zero.
+const DefaultDebounce = 250 * time.Millisecond
+
+// Config parameterizes the engine.
+type Config struct {
+	// Shards is the number of Linker shards (default DefaultShards).
+	Shards int
+	// Link is the per-shard linkage configuration. SpatialLevel 0 triggers
+	// one global auto-tune over the seed datasets before partitioning (an
+	// engine seeded with empty datasets falls back to level 12).
+	Link slim.Config
+	// Debounce is how long ingest must stay quiet before a started
+	// background scheduler triggers a relink (default DefaultDebounce).
+	Debounce time.Duration
+}
+
+// shard owns one Linker over a hash partition of the E entities plus a
+// replica of the I dataset.
+//
+// Locking: pendMu guards only the pending ingest buffers, so ingest never
+// blocks behind a running linkage; runMu serializes everything that
+// touches the linker (draining pending records into it and re-scoring).
+type shard struct {
+	pendMu sync.Mutex
+	pendE  []slim.Record
+	pendI  []slim.Record
+
+	runMu sync.Mutex
+	lk    *slim.Linker
+	edges []slim.Link
+	stats slim.Stats
+
+	// ran and the entity counts are mirrored atomically so Stats and
+	// ingest responses never wait behind a relink holding runMu.
+	ran  atomic.Bool
+	entE atomic.Int64
+	entI atomic.Int64
+}
+
+// pending reports how many ingested records the shard has not yet applied.
+func (sh *shard) pending() int {
+	sh.pendMu.Lock()
+	defer sh.pendMu.Unlock()
+	return len(sh.pendE) + len(sh.pendI)
+}
+
+// applyPending drains the ingest buffers into the shard linker and
+// reports whether the shard needs re-scoring. Callers must hold runMu.
+func (sh *shard) applyPending() (dirty bool) {
+	sh.pendMu.Lock()
+	pe, pi := sh.pendE, sh.pendI
+	sh.pendE, sh.pendI = nil, nil
+	sh.pendMu.Unlock()
+	sh.lk.AddE(pe...)
+	sh.lk.AddI(pi...)
+	sh.syncCounts()
+	return !sh.ran.Load() || len(pe) > 0 || len(pi) > 0
+}
+
+// syncCounts refreshes the atomic entity-count mirrors. Callers must hold
+// runMu (or be the constructor, before the shard is shared).
+func (sh *shard) syncCounts() {
+	sh.entE.Store(int64(len(sh.lk.EntitiesE())))
+	sh.entI.Store(int64(len(sh.lk.EntitiesI())))
+}
+
+// rescore re-runs the shard's scoring under the given global E entity
+// count (see Linker.SetTotalEntitiesE) and caches the edges. Callers must
+// hold runMu.
+func (sh *shard) rescore(totalE int) {
+	sh.lk.SetTotalEntitiesE(totalE)
+	sh.edges, sh.stats = sh.lk.RunEdges()
+	sh.ran.Store(true)
+}
+
+// Engine is a sharded, concurrent linkage engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg   Config
+	level int
+	epoch int64
+
+	shards []*shard
+
+	// runMu serializes whole relink runs (manual Run calls and the
+	// background scheduler); ingest and queries never take it.
+	runMu sync.Mutex
+
+	// mu guards the published result and run bookkeeping.
+	mu      sync.Mutex
+	cur     *slim.Result
+	version uint64
+	lastRun time.Time
+
+	ingestedE atomic.Uint64
+	ingestedI atomic.Uint64
+	runs      atomic.Uint64
+
+	kick    chan struct{}
+	stopCh  chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+	closed  atomic.Bool
+}
+
+// New builds an engine seeded with the given datasets (either may be
+// empty: a service typically starts empty and is fed over ingest). The
+// seed datasets are validated and min-records filtered once, the temporal
+// grid and spatial level are resolved once, and the shards are built in
+// parallel.
+func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 1 {
+		return nil, errors.New("engine: Shards must be >= 1")
+	}
+	if cfg.Debounce == 0 {
+		cfg.Debounce = DefaultDebounce
+	}
+	// One-time global preparation: validation, min-records filtering, and
+	// grid resolution (shared epoch + spatial level) all happen in the
+	// root package so shards and single Linkers can never disagree.
+	p, err := slim.PrepareLinkage(dsE, dsI, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Link = p.Config
+	level := p.Config.SpatialLevel
+
+	// Hash-partition the E records; every shard links its partition
+	// against the full I dataset.
+	parts := make([]slim.Dataset, cfg.Shards)
+	for s := range parts {
+		parts[s].Name = fmt.Sprintf("%s/shard%d", p.E.Name, s)
+	}
+	for _, r := range p.E.Records {
+		s := shardOf(r.Entity, cfg.Shards)
+		parts[s].Records = append(parts[s].Records, r)
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		level:  level,
+		epoch:  p.EpochUnix,
+		shards: make([]*shard, cfg.Shards),
+		kick:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	opt := slim.ShardOptions{EpochUnix: p.EpochUnix, SpatialLevel: level}
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lk, err := slim.NewShardLinker(parts[s], p.I, cfg.Link, opt)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			sh := &shard{lk: lk}
+			sh.syncCounts()
+			e.shards[s] = sh
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// shardOf maps an E entity to its owning shard.
+func shardOf(id slim.EntityID, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// SpatialLevel returns the history grid level shared by every shard.
+func (e *Engine) SpatialLevel() int { return e.level }
+
+// AddE ingests records of the first dataset. Records are buffered on their
+// owning shard and applied by the next relink; ingest never blocks behind
+// a running linkage. Like Linker.AddE, streamed records bypass the
+// MinRecords seed filter.
+func (e *Engine) AddE(recs ...slim.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	for _, r := range recs {
+		sh := e.shards[shardOf(r.Entity, len(e.shards))]
+		sh.pendMu.Lock()
+		sh.pendE = append(sh.pendE, r)
+		sh.pendMu.Unlock()
+	}
+	e.ingestedE.Add(uint64(len(recs)))
+	e.scheduleRelink()
+}
+
+// AddI ingests records of the second dataset. Every shard scores its E
+// partition against the full I dataset, so an I record fans out to all
+// shards (and dirties them all).
+func (e *Engine) AddI(recs ...slim.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	for _, sh := range e.shards {
+		sh.pendMu.Lock()
+		sh.pendI = append(sh.pendI, recs...)
+		sh.pendMu.Unlock()
+	}
+	e.ingestedI.Add(uint64(len(recs)))
+	e.scheduleRelink()
+}
+
+// Run drains pending ingest, re-scores every dirty shard (clean shards
+// reuse their cached edges), and publishes the merged, globally matched
+// and thresholded result. Runs are serialized; ingest and queries proceed
+// concurrently.
+func (e *Engine) Run() slim.Result {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	start := time.Now()
+
+	// Phase 1: apply pending ingest on every shard in parallel, so the
+	// global entity count below reflects this run's records.
+	for _, sh := range e.shards {
+		sh.runMu.Lock()
+	}
+	dirty := make([]bool, len(e.shards))
+	var wg sync.WaitGroup
+	for s, sh := range e.shards {
+		wg.Add(1)
+		go func(s int, sh *shard) {
+			defer wg.Done()
+			dirty[s] = sh.applyPending()
+		}(s, sh)
+	}
+	wg.Wait()
+
+	// Phase 2: re-score the dirty shards in parallel under the refreshed
+	// global E entity count; clean shards keep their cached edges (scored
+	// under the count at their last rescore — a deliberately stale but
+	// bounded approximation that preserves the dirty-shard optimization).
+	totalE := 0
+	for _, sh := range e.shards {
+		totalE += len(sh.lk.EntitiesE())
+	}
+	for s, sh := range e.shards {
+		if !dirty[s] {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.rescore(totalE)
+		}(sh)
+	}
+	wg.Wait()
+
+	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
+	// result and sum over every shard; the comparison counters report work
+	// and sum only over the shards this run actually re-scored.
+	var all []slim.Link
+	var stats slim.Stats
+	for s, sh := range e.shards {
+		all = append(all, sh.edges...)
+		stats.CandidatePairs += sh.stats.CandidatePairs
+		stats.PositiveEdges += sh.stats.PositiveEdges
+		if dirty[s] {
+			stats.BinComparisons += sh.stats.BinComparisons
+			stats.RecordComparisons += sh.stats.RecordComparisons
+			stats.AlibiBinPairs += sh.stats.AlibiBinPairs
+		}
+		if sh.stats.LSH != nil {
+			if stats.LSH == nil {
+				lshCopy := *sh.stats.LSH
+				stats.LSH = &lshCopy
+			} else {
+				stats.LSH.Candidates += sh.stats.LSH.Candidates
+				if sh.stats.LSH.SignatureLen > stats.LSH.SignatureLen {
+					stats.LSH.SignatureLen = sh.stats.LSH.SignatureLen
+					stats.LSH.Bands = sh.stats.LSH.Bands
+					stats.LSH.Rows = sh.stats.LSH.Rows
+				}
+			}
+		}
+	}
+	for _, sh := range e.shards {
+		sh.runMu.Unlock()
+	}
+
+	matched := slim.MatchLinks(e.cfg.Link.Matcher, all)
+	thr := slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
+	res := slim.Result{
+		Links:           slim.FilterLinks(matched, thr.Threshold),
+		Matched:         matched,
+		Threshold:       thr.Threshold,
+		ThresholdMethod: thr.Method,
+		SpatialLevel:    e.level,
+		Stats:           stats,
+		Elapsed:         time.Since(start),
+	}
+
+	e.runs.Add(1)
+	e.mu.Lock()
+	e.cur = &res
+	e.version++
+	e.lastRun = time.Now()
+	e.mu.Unlock()
+	return res
+}
+
+// Result returns the most recently published result; ok is false before
+// the first run. The result's slices are shared — treat them as read-only.
+func (e *Engine) Result() (res slim.Result, version uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cur == nil {
+		return slim.Result{}, 0, false
+	}
+	return *e.cur, e.version, true
+}
+
+// Links returns the current links (nil before the first run).
+func (e *Engine) Links() []slim.Link {
+	res, _, ok := e.Result()
+	if !ok {
+		return nil
+	}
+	return res.Links
+}
+
+// LinksFor returns the current links involving the given entity on either
+// side.
+func (e *Engine) LinksFor(id slim.EntityID) []slim.Link {
+	var out []slim.Link
+	for _, l := range e.Links() {
+		if l.U == id || l.V == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the engine's operational state.
+type Stats struct {
+	Shards       int
+	SpatialLevel int
+	// EntitiesE / EntitiesI count entities with applied histories, summed
+	// over shards (I entities are counted once; they are replicated).
+	EntitiesE int
+	EntitiesI int
+	// IngestedE / IngestedI count records accepted since construction.
+	IngestedE uint64
+	IngestedI uint64
+	// PendingRecords counts buffered records not yet applied by a relink
+	// (an I record pending on k shards counts k times).
+	PendingRecords int
+	// DirtyShards counts shards that the next run will re-score.
+	DirtyShards int
+	// Runs and Version count completed relinks and published results.
+	Runs    uint64
+	Version uint64
+	// LastRun is the completion time of the latest relink (zero before the
+	// first).
+	LastRun time.Time
+	// Links and Threshold summarize the current result.
+	Links     int
+	Threshold float64
+}
+
+// Pending counts buffered records not yet applied by a relink. It only
+// touches the ingest buffers, so it never waits behind a running linkage.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.pending()
+	}
+	return n
+}
+
+// Stats returns an operational snapshot. It reads only ingest buffers and
+// atomic mirrors, so it never waits behind a running linkage (entity
+// counts may trail a relink in flight by one run).
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:       len(e.shards),
+		SpatialLevel: e.level,
+		IngestedE:    e.ingestedE.Load(),
+		IngestedI:    e.ingestedI.Load(),
+		Runs:         e.runs.Load(),
+	}
+	for s, sh := range e.shards {
+		pending := sh.pending()
+		st.PendingRecords += pending
+		if pending > 0 || !sh.ran.Load() {
+			st.DirtyShards++
+		}
+		st.EntitiesE += int(sh.entE.Load())
+		if s == 0 {
+			st.EntitiesI = int(sh.entI.Load())
+		}
+	}
+	e.mu.Lock()
+	st.Version = e.version
+	st.LastRun = e.lastRun
+	if e.cur != nil {
+		st.Links = len(e.cur.Links)
+		st.Threshold = e.cur.Threshold
+	}
+	e.mu.Unlock()
+	return st
+}
+
+// scheduleRelink nudges the background scheduler (no-op when not started;
+// the kick channel holds one pending nudge).
+func (e *Engine) scheduleRelink() {
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the background relink scheduler: after ingest has been
+// quiet for the configured debounce, the engine re-links automatically.
+// Start is idempotent.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	go e.loop()
+}
+
+// loop is the debounced background relink scheduler.
+func (e *Engine) loop() {
+	defer close(e.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-e.kick:
+			timer.Reset(e.cfg.Debounce)
+		debounce:
+			for {
+				select {
+				case <-e.stopCh:
+					timer.Stop()
+					return
+				case <-e.kick:
+					// More ingest arrived: push the relink back.
+					timer.Reset(e.cfg.Debounce)
+				case <-timer.C:
+					break debounce
+				}
+			}
+			e.Run()
+		}
+	}
+}
+
+// Close stops the background scheduler (waiting for an in-flight relink to
+// finish). The engine remains queryable; Run may still be called manually.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.stopCh)
+	if e.started.Load() {
+		<-e.done
+	}
+}

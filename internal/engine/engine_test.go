@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"slim"
+)
+
+// standardWorkload mirrors the repo's standard datagen benchmark workload
+// (see benchWorkload in the root bench_test.go): a synthetic Cab trace
+// sampled into two overlapping anonymized datasets with ground truth.
+func standardWorkload(taxis int) slim.SampledWorkload {
+	ground := slim.GenerateCab(slim.CabOptions{
+		NumTaxis: taxis, Days: 2, MeanRecordIntervalSec: 360, Seed: 99,
+	})
+	return slim.SampleWorkload(&ground, slim.SampleOptions{
+		IntersectionRatio: 0.5, InclusionProbE: 0.5, InclusionProbI: 0.5, Seed: 100,
+	})
+}
+
+// splitByTime divides a dataset's records at a unix timestamp.
+func splitByTime(d slim.Dataset, cut int64) (before, after []slim.Record) {
+	for _, r := range d.Records {
+		if r.Unix < cut {
+			before = append(before, r)
+		} else {
+			after = append(after, r)
+		}
+	}
+	return before, after
+}
+
+func sortLinks(ls []slim.Link) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].U != ls[j].U {
+			return ls[i].U < ls[j].U
+		}
+		return ls[i].V < ls[j].V
+	})
+}
+
+// TestEngineQualityMatchesBaseline links the standard workload with the
+// sharded engine and with a single Linker and verifies the engine's
+// quality is not materially worse despite shard-local E-side statistics.
+func TestEngineQualityMatchesBaseline(t *testing.T) {
+	w := standardWorkload(24)
+	cfg := slim.Defaults()
+
+	base, err := slim.LinkDatasets(w.E, w.I, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(w.E, w.I, Config{Shards: 4, Link: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+
+	if len(res.Links) == 0 {
+		t.Fatal("engine produced no links")
+	}
+	mBase := slim.Evaluate(base.Links, w.Truth)
+	mEng := slim.Evaluate(res.Links, w.Truth)
+	t.Logf("baseline F1=%.3f engine F1=%.3f (links %d vs %d)",
+		mBase.F1, mEng.F1, len(base.Links), len(res.Links))
+	if mEng.F1 < mBase.F1-0.15 {
+		t.Errorf("engine F1 %.3f much worse than baseline %.3f", mEng.F1, mBase.F1)
+	}
+	// The merged candidate workload must cover the full cross product.
+	if res.Stats.CandidatePairs != base.Stats.CandidatePairs {
+		t.Errorf("candidate pairs: engine %d, baseline %d",
+			res.Stats.CandidatePairs, base.Stats.CandidatePairs)
+	}
+}
+
+// TestEngineIncrementalMatchesFullLoad streams the tail of the workload
+// into an engine seeded with the head and verifies the relinked result is
+// identical to an engine seeded with everything.
+func TestEngineIncrementalMatchesFullLoad(t *testing.T) {
+	w := standardWorkload(20)
+	lo, _, _ := w.E.TimeRange()
+	cut := lo + 130000 // ~1.5 days in: every entity already has many records
+
+	beforeE, afterE := splitByTime(w.E, cut)
+	beforeI, afterI := splitByTime(w.I, cut)
+
+	cfg := slim.Defaults()
+	inc, err := New(
+		slim.Dataset{Name: "E", Records: beforeE},
+		slim.Dataset{Name: "I", Records: beforeI},
+		Config{Shards: 4, Link: cfg},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Run()
+	inc.AddE(afterE...)
+	inc.AddI(afterI...)
+	streamed := inc.Run()
+
+	full, err := New(w.E, w.I, Config{Shards: 4, Link: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := full.Run()
+
+	if len(streamed.Links) != len(batch.Links) {
+		t.Fatalf("streamed links = %d, full-load links = %d",
+			len(streamed.Links), len(batch.Links))
+	}
+	sortLinks(streamed.Links)
+	sortLinks(batch.Links)
+	for i := range batch.Links {
+		if streamed.Links[i] != batch.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, streamed.Links[i], batch.Links[i])
+		}
+	}
+}
+
+// TestEngineDirtyShardTracking verifies that ingest only dirties the
+// owning shard (E side) or all shards (I side), and that clean shards
+// reuse cached edges across runs.
+func TestEngineDirtyShardTracking(t *testing.T) {
+	w := standardWorkload(20)
+	eng, err := New(w.E, w.I, Config{Shards: 4, Link: slim.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if st := eng.Stats(); st.DirtyShards != 0 {
+		t.Fatalf("dirty shards after run: %d", st.DirtyShards)
+	}
+
+	// One E record dirties exactly its owning shard.
+	u := eng.shards[0].lk.EntitiesE()
+	for s := 1; s < len(eng.shards) && len(u) == 0; s++ {
+		u = eng.shards[s].lk.EntitiesE()
+	}
+	if len(u) == 0 {
+		t.Fatal("no entities in any shard")
+	}
+	eng.AddE(slim.NewRecord(u[0], 37.7, -122.4, 1_300_000))
+	if st := eng.Stats(); st.DirtyShards != 1 {
+		t.Errorf("dirty shards after one E record: %d, want 1", st.DirtyShards)
+	}
+	eng.Run()
+
+	// One I record dirties every shard (I is replicated).
+	eng.AddI(slim.NewRecord("brand-new-i", 37.7, -122.4, 1_300_000))
+	if st := eng.Stats(); st.DirtyShards != 4 {
+		t.Errorf("dirty shards after one I record: %d, want 4", st.DirtyShards)
+	}
+}
+
+// TestEngineEmptyStartAndBackgroundRelink boots an empty engine, streams
+// three linkable pairs through it, and waits for the debounced background
+// scheduler to publish the linkage without any manual Run call.
+func TestEngineEmptyStartAndBackgroundRelink(t *testing.T) {
+	mk := func(e string, latOff float64, n int, startUnix int64) []slim.Record {
+		var out []slim.Record
+		for k := 0; k < n; k++ {
+			out = append(out, slim.NewRecord(slim.EntityID(e),
+				37.5+latOff+float64(k%4)*0.06, -122.3, startUnix+int64(k)*900))
+		}
+		return out
+	}
+	cfg := slim.Defaults()
+	cfg.Threshold = slim.ThresholdNone // tiny instance: keep the full matching
+	eng, err := New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		Config{Shards: 4, Link: cfg, Debounce: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Close()
+
+	for i, off := range []float64{0, 0.8, 1.6} {
+		e := string(rune('a' + i))
+		eng.AddE(mk("e-"+e, off, 20, 1_000_000)...)
+		eng.AddI(mk("i-"+e, off, 20, 1_000_030)...)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, v, ok := eng.Result(); ok && v > 0 && eng.Stats().PendingRecords == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background relink never published a result")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	links := eng.Links()
+	if len(links) != 3 {
+		t.Fatalf("links = %v, want 3 pairs", links)
+	}
+	got := eng.LinksFor("e-b")
+	if len(got) != 1 || got[0].V != "i-b" {
+		t.Errorf("LinksFor(e-b) = %v", got)
+	}
+	st := eng.Stats()
+	if st.IngestedE != 60 || st.IngestedI != 60 {
+		t.Errorf("ingest counters = %d/%d, want 60/60", st.IngestedE, st.IngestedI)
+	}
+}
+
+// TestEngineConcurrentIngestWhileRun hammers the engine with concurrent
+// streaming ingest, manual runs, the background scheduler and queries.
+// Run it under -race: it is the subsystem's data-race gate.
+func TestEngineConcurrentIngestWhileRun(t *testing.T) {
+	w := standardWorkload(16)
+	lo, _, _ := w.E.TimeRange()
+	cut := lo + 120000
+	beforeE, afterE := splitByTime(w.E, cut)
+	beforeI, afterI := splitByTime(w.I, cut)
+
+	eng, err := New(
+		slim.Dataset{Name: "E", Records: beforeE},
+		slim.Dataset{Name: "I", Records: beforeI},
+		Config{Shards: 4, Link: slim.Defaults(), Debounce: time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	eng.Run()
+
+	const batch = 25
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // stream E records in batches
+		defer wg.Done()
+		for i := 0; i < len(afterE); i += batch {
+			hi := min(i+batch, len(afterE))
+			eng.AddE(afterE[i:hi]...)
+		}
+	}()
+	go func() { // stream I records in batches
+		defer wg.Done()
+		for i := 0; i < len(afterI); i += batch {
+			hi := min(i+batch, len(afterI))
+			eng.AddI(afterI[i:hi]...)
+		}
+	}()
+	go func() { // manual relinks racing the background scheduler
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			eng.Run()
+		}
+	}()
+	go func() { // concurrent readers
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			eng.Links()
+			eng.Stats()
+			eng.LinksFor("anyone")
+			eng.Result()
+		}
+	}()
+	wg.Wait()
+	eng.Close()
+
+	final := eng.Run()
+	if len(final.Links) == 0 {
+		t.Fatal("no links after concurrent ingest")
+	}
+	st := eng.Stats()
+	if st.PendingRecords != 0 || st.DirtyShards != 0 {
+		t.Errorf("engine not clean after final run: %+v", st)
+	}
+	if st.IngestedE != uint64(len(afterE)) || st.IngestedI != uint64(len(afterI)) {
+		t.Errorf("ingest counters %d/%d, want %d/%d",
+			st.IngestedE, st.IngestedI, len(afterE), len(afterI))
+	}
+}
+
+// TestShardedRelinkSpeedup measures the engine's headline property: after
+// a localized ingest burst, a 4-shard engine re-links by re-scoring only
+// the dirty shard and must beat a single Linker's full re-run by >= 1.5x
+// wall-clock on the standard datagen workload.
+func TestShardedRelinkSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short")
+	}
+	baseE, baseI, tail := relinkFixture(32)
+	cfg := slim.Defaults()
+
+	lk, err := slim.NewLinker(baseE, baseI, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk.Run()
+	t0 := time.Now()
+	lk.AddE(tail...)
+	lk.Run()
+	baseDur := time.Since(t0)
+
+	eng, err := New(baseE, baseI, Config{Shards: 4, Link: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	t1 := time.Now()
+	eng.AddE(tail...)
+	eng.Run()
+	engDur := time.Since(t1)
+
+	speedup := float64(baseDur) / float64(engDur)
+	t.Logf("relink after localized burst: single-linker %v, 4-shard engine %v (%.2fx)",
+		baseDur, engDur, speedup)
+	if speedup < 1.5 {
+		t.Errorf("sharded relink speedup %.2fx < 1.5x", speedup)
+	}
+}
+
+// relinkFixture builds the streaming-relink scenario shared by the
+// speedup test and the benchmarks: the standard workload split into a
+// bulk-loaded head plus a tail burst of E records that all belong to one
+// shard of a 4-shard engine (a localized update, the common case for a
+// service where only some users are active between relinks).
+func relinkFixture(taxis int) (baseE, baseI slim.Dataset, tail []slim.Record) {
+	w := standardWorkload(taxis)
+	lo, _, _ := w.E.TimeRange()
+	cut := lo + 130000
+	beforeE, afterE := splitByTime(w.E, cut)
+	for _, r := range afterE {
+		if shardOf(r.Entity, 4) == 0 {
+			tail = append(tail, r)
+		}
+	}
+	baseE = slim.Dataset{Name: "E", Records: beforeE}
+	baseI = w.I
+	return baseE, baseI, tail
+}

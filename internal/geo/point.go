@@ -33,19 +33,29 @@ type LatLng struct {
 }
 
 // LatLngFromDegrees constructs a LatLng, clamping latitude into [-90, 90]
-// and wrapping longitude into [-180, 180].
+// and wrapping longitude into [-180, 180]. Non-finite inputs collapse to 0
+// so that untrusted coordinates can never smuggle NaN/Inf into a dataset
+// (nor spin a subtract-360 loop that float precision would never finish).
 func LatLngFromDegrees(lat, lng float64) LatLng {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lng) || math.IsInf(lng, 0) {
+		lng = 0
+	}
 	if lat > 90 {
 		lat = 90
 	}
 	if lat < -90 {
 		lat = -90
 	}
-	for lng > 180 {
-		lng -= 360
-	}
-	for lng < -180 {
-		lng += 360
+	if lng > 180 || lng < -180 {
+		lng = math.Mod(lng, 360)
+		if lng > 180 {
+			lng -= 360
+		} else if lng < -180 {
+			lng += 360
+		}
 	}
 	return LatLng{Lat: lat, Lng: lng}
 }

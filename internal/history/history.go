@@ -111,11 +111,15 @@ func (h *History) Bins(fn func(Bin, float64)) {
 	}
 }
 
-// ensureLevels builds the dyadic aggregation levels up to the given height.
-// Level h holds, for each aligned group of 2^h consecutive windows, the
-// merged cell→count map — exactly the "non-leaf nodes keep the occurrence
-// counts of the cell ids in their sub-tree" structure of Fig. 1.
-func (h *History) ensureLevels(height int) {
+// ensureLevels builds the dyadic aggregation levels up to the given height
+// and returns the level slice. Level h holds, for each aligned group of
+// 2^h consecutive windows, the merged cell→count map — exactly the
+// "non-leaf nodes keep the occurrence counts of the cell ids in their
+// sub-tree" structure of Fig. 1. Callers must read from the returned
+// snapshot, never from h.levels: an interleaved Store.Add invalidates
+// h.levels (sets it nil), and reading the field after the lock is dropped
+// would race with that reset.
+func (h *History) ensureLevels(height int) []map[int64]map[geo.CellID]float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.levels) == 0 {
@@ -137,6 +141,7 @@ func (h *History) ensureLevels(height int) {
 		}
 		h.levels = append(h.levels, next)
 	}
+	return h.levels
 }
 
 func floorDiv2(x int64) int64 {
@@ -161,11 +166,11 @@ func (h *History) DominatingCell(start, end int64) (cell geo.CellID, ok bool) {
 	for int64(1)<<uint(height+1) <= end-start {
 		height++
 	}
-	h.ensureLevels(height)
+	levels := h.ensureLevels(height)
 
 	var counts map[geo.CellID]float64
 	addNode := func(level int, idx int64) {
-		cells := h.levels[level][idx]
+		cells := levels[level][idx]
 		if cells == nil {
 			return
 		}
@@ -247,6 +252,10 @@ type Store struct {
 	minWindow   int64
 	maxWindow   int64
 	hasData     bool
+
+	// idfTotal, when positive, overrides the |U| numerator of the IDF for
+	// stores holding one partition of a larger logical dataset.
+	idfTotal int
 }
 
 // Build constructs the histories of every entity of the dataset at the
@@ -312,11 +321,23 @@ func (s *Store) WindowRange() (minWin, maxWin int64, ok bool) {
 	return s.minWindow, s.maxWindow, true
 }
 
+// SetIDFTotalEntities overrides the |U| numerator of the IDF (Eq. 3) for
+// stores that hold one hash partition of a larger logical dataset: the
+// bin→entity frequencies in the denominator stay partition-local (the
+// standard distributed-retrieval approximation), but the entity-count
+// numerator reflects the whole dataset, so a shard with few entities does
+// not degenerate to zero IDF weights. n <= the local entity count restores
+// purely local statistics.
+func (s *Store) SetIDFTotalEntities(n int) { s.idfTotal = n }
+
 // IDF returns the inverse-document-frequency weight of a time-location bin
 // (Eq. 3): log(|U| / |{u : bin ∈ H_u}|). Bins absent from the dataset get
 // the maximum weight log(|U|), consistent with the limit of Eq. 3.
 func (s *Store) IDF(b Bin) float64 {
 	n := len(s.entities)
+	if s.idfTotal > n {
+		n = s.idfTotal
+	}
 	if n == 0 {
 		return 0
 	}

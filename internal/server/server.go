@@ -1,0 +1,339 @@
+// Package server exposes an engine.Engine as a JSON-over-HTTP linkage
+// service — the network surface of cmd/slimd.
+//
+// API (all bodies are JSON):
+//
+//	POST /v1/datasets/{e|i}/records   batched record ingest
+//	POST /v1/link                     trigger a synchronous relink
+//	GET  /v1/links                    current links (?limit=&offset=&min_score=)
+//	GET  /v1/links/{entity}           links involving one entity (either side)
+//	GET  /v1/stats                    engine + last-run statistics
+//	GET  /healthz                     liveness probe
+//
+// Ingested records are buffered per shard and applied by the next relink
+// (debounced in the background when the engine's scheduler is started, or
+// forced via POST /v1/link), so ingest responds quickly even while a
+// linkage run is in flight.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"slim"
+	"slim/internal/engine"
+)
+
+// MaxIngestBody bounds one ingest request body (16 MiB).
+const MaxIngestBody = 16 << 20
+
+// Server routes HTTP requests onto an engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a server over the engine. logger may be nil to disable
+// request logging.
+func New(eng *engine.Engine, logger *log.Logger) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("POST /v1/datasets/{dataset}/records", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/link", s.handleLink)
+	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
+	s.mux.HandleFunc("GET /v1/links/{entity}", s.handleLinksFor)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the root handler (request logging included).
+func (s *Server) Handler() http.Handler {
+	if s.log == nil {
+		return s.mux
+	}
+	return s.withLogging(s.mux)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, req)
+		s.log.Printf("%s %s %d %s", req.Method, req.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recordJSON is the wire form of one mobility record.
+type recordJSON struct {
+	Entity   string  `json:"entity"`
+	Lat      float64 `json:"lat"`
+	Lng      float64 `json:"lng"`
+	Unix     int64   `json:"unix"`
+	RadiusKm float64 `json:"radius_km,omitempty"`
+}
+
+type ingestRequest struct {
+	Records []recordJSON `json:"records"`
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Dataset  string `json:"dataset"`
+	// Pending counts buffered records awaiting the next relink.
+	Pending int `json:"pending"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	ds := req.PathValue("dataset")
+	if ds != "e" && ds != "i" {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (want e or i)", ds))
+		return
+	}
+	var body ingestRequest
+	if err := decodeJSON(req, &body); err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(body.Records) == 0 {
+		s.error(w, http.StatusBadRequest, "no records in request")
+		return
+	}
+	recs := make([]slim.Record, len(body.Records))
+	for i, r := range body.Records {
+		if err := r.validate(); err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
+			return
+		}
+		rec := slim.NewRecord(slim.EntityID(r.Entity), r.Lat, r.Lng, r.Unix)
+		rec.RadiusKm = r.RadiusKm
+		recs[i] = rec
+	}
+	if ds == "e" {
+		s.eng.AddE(recs...)
+	} else {
+		s.eng.AddI(recs...)
+	}
+	s.json(w, http.StatusAccepted, ingestResponse{
+		Accepted: len(recs),
+		Dataset:  ds,
+		Pending:  s.eng.Pending(),
+	})
+}
+
+// validate rejects records an attacker could use to poison the stores:
+// ingest bypasses Dataset.Validate (which only guards seed loads), so the
+// wire layer is where untrusted coordinates are stopped.
+func (r recordJSON) validate() error {
+	if r.Entity == "" {
+		return errors.New("empty entity id")
+	}
+	if math.IsNaN(r.Lat) || math.IsInf(r.Lat, 0) || r.Lat < -90 || r.Lat > 90 {
+		return fmt.Errorf("latitude %g outside [-90, 90]", r.Lat)
+	}
+	if math.IsNaN(r.Lng) || math.IsInf(r.Lng, 0) || r.Lng < -180 || r.Lng > 180 {
+		return fmt.Errorf("longitude %g outside [-180, 180]", r.Lng)
+	}
+	if math.IsNaN(r.RadiusKm) || math.IsInf(r.RadiusKm, 0) || r.RadiusKm < 0 {
+		return fmt.Errorf("radius_km %g must be a finite non-negative number", r.RadiusKm)
+	}
+	return nil
+}
+
+type linkJSON struct {
+	U     string  `json:"u"`
+	V     string  `json:"v"`
+	Score float64 `json:"score"`
+}
+
+func toLinkJSON(ls []slim.Link) []linkJSON {
+	out := make([]linkJSON, len(ls))
+	for i, l := range ls {
+		out[i] = linkJSON{U: string(l.U), V: string(l.V), Score: l.Score}
+	}
+	return out
+}
+
+type runResponse struct {
+	Version         uint64  `json:"version"`
+	Links           int     `json:"links"`
+	Matched         int     `json:"matched"`
+	Threshold       float64 `json:"threshold"`
+	ThresholdMethod string  `json:"threshold_method"`
+	SpatialLevel    int     `json:"spatial_level"`
+	CandidatePairs  int64   `json:"candidate_pairs"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, req *http.Request) {
+	res := s.eng.Run()
+	_, version, _ := s.eng.Result()
+	s.json(w, http.StatusOK, runResponse{
+		Version:         version,
+		Links:           len(res.Links),
+		Matched:         len(res.Matched),
+		Threshold:       res.Threshold,
+		ThresholdMethod: res.ThresholdMethod,
+		SpatialLevel:    res.SpatialLevel,
+		CandidatePairs:  res.Stats.CandidatePairs,
+		ElapsedMs:       float64(res.Elapsed.Microseconds()) / 1000,
+	})
+}
+
+type linksResponse struct {
+	Version   uint64     `json:"version"`
+	Threshold float64    `json:"threshold"`
+	Total     int        `json:"total"`
+	Links     []linkJSON `json:"links"`
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
+	res, version, ok := s.eng.Result()
+	if !ok {
+		s.error(w, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
+		return
+	}
+	links := res.Links
+	q := req.URL.Query()
+	if v := q.Get("min_score"); v != "" {
+		minScore, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "bad min_score")
+			return
+		}
+		links = slim.FilterLinks(links, minScore)
+	}
+	total := len(links)
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	limit, err := intParam(q.Get("limit"), total)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "bad limit")
+		return
+	}
+	if offset > len(links) {
+		offset = len(links)
+	}
+	links = links[offset:]
+	if limit < len(links) {
+		links = links[:limit]
+	}
+	s.json(w, http.StatusOK, linksResponse{
+		Version:   version,
+		Threshold: res.Threshold,
+		Total:     total,
+		Links:     toLinkJSON(links),
+	})
+}
+
+func (s *Server) handleLinksFor(w http.ResponseWriter, req *http.Request) {
+	if _, _, ok := s.eng.Result(); !ok {
+		s.error(w, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
+		return
+	}
+	entity := req.PathValue("entity")
+	links := s.eng.LinksFor(slim.EntityID(entity))
+	s.json(w, http.StatusOK, struct {
+		Entity string     `json:"entity"`
+		Links  []linkJSON `json:"links"`
+	}{Entity: entity, Links: toLinkJSON(links)})
+}
+
+type statsResponse struct {
+	Shards         int     `json:"shards"`
+	SpatialLevel   int     `json:"spatial_level"`
+	EntitiesE      int     `json:"entities_e"`
+	EntitiesI      int     `json:"entities_i"`
+	IngestedE      uint64  `json:"ingested_e"`
+	IngestedI      uint64  `json:"ingested_i"`
+	PendingRecords int     `json:"pending_records"`
+	DirtyShards    int     `json:"dirty_shards"`
+	Runs           uint64  `json:"runs"`
+	Version        uint64  `json:"version"`
+	LastRunUnixMs  int64   `json:"last_run_unix_ms,omitempty"`
+	Links          int     `json:"links"`
+	Threshold      float64 `json:"threshold"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	st := s.eng.Stats()
+	resp := statsResponse{
+		Shards:         st.Shards,
+		SpatialLevel:   st.SpatialLevel,
+		EntitiesE:      st.EntitiesE,
+		EntitiesI:      st.EntitiesI,
+		IngestedE:      st.IngestedE,
+		IngestedI:      st.IngestedI,
+		PendingRecords: st.PendingRecords,
+		DirtyShards:    st.DirtyShards,
+		Runs:           st.Runs,
+		Version:        st.Version,
+		Links:          st.Links,
+		Threshold:      st.Threshold,
+	}
+	if !st.LastRun.IsZero() {
+		resp.LastRunUnixMs = st.LastRun.UnixMilli()
+	}
+	s.json(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.json(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeJSON strictly decodes one JSON body into v.
+func decodeJSON(req *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(req.Body, MaxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad json: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad json: trailing data")
+	}
+	return nil
+}
+
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer %q", v)
+	}
+	return n, nil
+}
+
+func (s *Server) json(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) error(w http.ResponseWriter, code int, msg string) {
+	s.json(w, code, map[string]string{"error": msg})
+}

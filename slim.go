@@ -104,31 +104,48 @@ type Linker struct {
 	lshStats   *LSHStats
 	// lshDirty marks the candidate set stale after incremental adds.
 	lshDirty bool
+	// brutePairs caches the full cross product when LSH is disabled;
+	// invalidated by AddE/AddI.
+	brutePairs []lsh.Pair
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
 }
 
-// NewLinker validates the configuration, builds both datasets' mobility
-// histories (auto-tuning the spatial level if requested) and, when LSH is
-// enabled, the candidate pair set.
-func NewLinker(dsE, dsI Dataset, cfg Config) (*Linker, error) {
+// PreparedLinkage holds the seed inputs of one logical linkage after
+// one-time preparation: datasets validated and min-records filtered, the
+// configuration normalized, and the shared temporal grid and spatial
+// level resolved. Partitioned engines call PrepareLinkage once and hand
+// every shard the same grid via ShardOptions.
+type PreparedLinkage struct {
+	// E and I are the validated, min-records-filtered datasets.
+	E, I Dataset
+	// Config is the normalized configuration with the resolved (possibly
+	// auto-tuned) spatial level filled in.
+	Config Config
+	// EpochUnix is the unix time of the left edge of temporal window 0.
+	EpochUnix int64
+}
+
+// PrepareLinkage validates and min-records-filters both datasets and
+// resolves the shared temporal grid and spatial level (auto-tuning when
+// cfg.SpatialLevel is 0, with level 12 as the degenerate-input fallback).
+// It is the single place grid resolution happens: NewLinker and the
+// sharded engine both build on it.
+func PrepareLinkage(dsE, dsI Dataset, cfg Config) (PreparedLinkage, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return PreparedLinkage{}, err
 	}
 	if err := dsE.Validate(); err != nil {
-		return nil, fmt.Errorf("slim: dataset E: %w", err)
+		return PreparedLinkage{}, fmt.Errorf("slim: dataset E: %w", err)
 	}
 	if err := dsI.Validate(); err != nil {
-		return nil, fmt.Errorf("slim: dataset I: %w", err)
+		return PreparedLinkage{}, fmt.Errorf("slim: dataset I: %w", err)
 	}
 	fe := dsE.FilterMinRecords(cfg.MinRecords)
 	fi := dsI.FilterMinRecords(cfg.MinRecords)
 
-	widthSec := int64(cfg.WindowMinutes * 60)
-	if widthSec < 1 {
-		widthSec = 1
-	}
+	widthSec := windowSeconds(cfg)
 	wnd := model.NewWindowing(widthSec, &fe, &fi)
 
 	level := cfg.SpatialLevel
@@ -142,12 +159,72 @@ func NewLinker(dsE, dsI Dataset, cfg Config) (*Linker, error) {
 			level = 12
 		}
 	}
+	cfg.SpatialLevel = level
+	return PreparedLinkage{E: fe, I: fi, Config: cfg, EpochUnix: wnd.Epoch}, nil
+}
 
+// windowSeconds returns the temporal window width in whole seconds,
+// clamped to at least 1.
+func windowSeconds(cfg Config) int64 {
+	w := int64(cfg.WindowMinutes * 60)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// NewLinker validates the configuration, builds both datasets' mobility
+// histories (auto-tuning the spatial level if requested) and, when LSH is
+// enabled, the candidate pair set.
+func NewLinker(dsE, dsI Dataset, cfg Config) (*Linker, error) {
+	p, err := PrepareLinkage(dsE, dsI, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wnd := model.Windowing{Epoch: p.EpochUnix, WidthSeconds: windowSeconds(p.Config)}
+	return buildLinker(p.E, p.I, p.Config, wnd)
+}
+
+// ShardOptions pins the shared linkage grid when a Linker is built as one
+// shard of a larger partitioned linkage: every shard must agree on the
+// window epoch and the spatial level or their scores would live on
+// different bins.
+type ShardOptions struct {
+	// EpochUnix is the unix time of the left edge of temporal window 0,
+	// shared across the whole partition.
+	EpochUnix int64
+	// SpatialLevel pins the history grid level; 0 keeps cfg.SpatialLevel,
+	// which must then be non-zero (shards never auto-tune).
+	SpatialLevel int
+}
+
+// NewShardLinker builds a Linker over one partition of a larger linkage.
+// The caller (e.g. internal/engine) is expected to have validated and
+// min-records-filtered the inputs once globally, and to pass the grid
+// parameters it resolved for the whole linkage; no auto-tuning or
+// re-filtering happens here. Empty partitions are allowed.
+func NewShardLinker(dsE, dsI Dataset, cfg Config, opt ShardOptions) (*Linker, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if opt.SpatialLevel > 0 {
+		cfg.SpatialLevel = opt.SpatialLevel
+	}
+	if cfg.SpatialLevel == 0 {
+		return nil, fmt.Errorf("slim: shard linker requires a pinned spatial level")
+	}
+	wnd := model.Windowing{Epoch: opt.EpochUnix, WidthSeconds: windowSeconds(cfg)}
+	return buildLinker(dsE, dsI, cfg, wnd)
+}
+
+// buildLinker assembles stores, scorer and LSH candidates from prepared
+// datasets under an already-resolved configuration and windowing.
+func buildLinker(fe, fi Dataset, cfg Config, wnd model.Windowing) (*Linker, error) {
 	lk := &Linker{cfg: cfg, wnd: wnd}
-	lk.cfg.SpatialLevel = level
-	lk.storeE = history.Build(&fe, wnd, level)
-	lk.storeI = history.Build(&fi, wnd, level)
+	lk.storeE = history.Build(&fe, wnd, cfg.SpatialLevel)
+	lk.storeI = history.Build(&fi, wnd, cfg.SpatialLevel)
 
+	widthSec := wnd.WidthSeconds
 	params := similarity.DefaultParams(float64(widthSec)/60, cfg.MaxSpeedKmPerMin)
 	params.B = cfg.B
 	params.UseMFN = !cfg.Ablation.DisableMFN
@@ -235,10 +312,21 @@ func (lk *Linker) add(store, sigStore *history.Store, recs []Record) {
 			sigStore.Add(r)
 		}
 	}
-	if len(recs) > 0 && lk.cfg.LSH != nil {
-		lk.lshDirty = true
+	if len(recs) > 0 {
+		lk.brutePairs = nil
+		if lk.cfg.LSH != nil {
+			lk.lshDirty = true
+		}
 	}
 }
+
+// SetTotalEntitiesE tells a shard linker how many E entities the whole
+// partitioned linkage holds, so its IDF uniqueness weights (Eq. 3) use the
+// global entity count as numerator instead of the shard-local one (the
+// bin frequencies in the denominator stay shard-local). Without this, a
+// shard that owns a single entity would weight every bin log(1/1) = 0 and
+// score nothing. No-op for n at or below the shard's own entity count.
+func (lk *Linker) SetTotalEntitiesE(n int) { lk.storeE.SetIDFTotalEntities(n) }
 
 // Windowing exposes the shared temporal grid of the linkage.
 func (lk *Linker) Windowing() model.Windowing { return lk.wnd }
@@ -256,60 +344,40 @@ func (lk *Linker) EntitiesI() []EntityID { return lk.storeI.Entities() }
 func (lk *Linker) Score(u, v EntityID) float64 { return lk.scorer.Score(u, v) }
 
 // CandidatePairs returns the pairs that will be scored: the LSH survivors,
-// or every cross pair when LSH is disabled.
+// or every cross pair when LSH is disabled. The brute-force cross product
+// is cached between calls and invalidated by AddE/AddI; the returned slice
+// must not be modified.
 func (lk *Linker) CandidatePairs() []lsh.Pair {
 	if lk.candidates != nil {
 		return lk.candidates
 	}
-	es := lk.storeE.Entities()
-	is := lk.storeI.Entities()
-	pairs := make([]lsh.Pair, 0, len(es)*len(is))
-	for _, u := range es {
-		for _, v := range is {
-			pairs = append(pairs, lsh.Pair{U: u, V: v})
+	if lk.brutePairs == nil {
+		es := lk.storeE.Entities()
+		is := lk.storeI.Entities()
+		pairs := make([]lsh.Pair, 0, len(es)*len(is))
+		for _, u := range es {
+			for _, v := range is {
+				pairs = append(pairs, lsh.Pair{U: u, V: v})
+			}
 		}
+		lk.brutePairs = pairs
 	}
-	return pairs
+	return lk.brutePairs
 }
 
-// Run executes scoring, matching and thresholding and returns the result.
-// It can be called repeatedly, interleaved with AddE/AddI, to re-link a
-// dynamic feed; stats report per-run work.
-func (lk *Linker) Run() Result {
-	start := time.Now()
+// RunEdges scores the current candidate set and returns the positive
+// scored pairs together with the per-call work stats, without matching or
+// thresholding. It is the building block partitioned engines use: each
+// shard contributes its edges, and the caller merges them with MatchLinks
+// and SelectStopThreshold. Run composes the same pieces for the
+// single-linker pipeline. The returned Stats carry a private LSHStats
+// copy, so a later refresh never mutates results a caller still holds.
+func (lk *Linker) RunEdges() ([]Link, Stats) {
 	if lk.lshDirty {
 		lk.refreshLSHCandidates()
 	}
 	pairs := lk.CandidatePairs()
-
 	edges := lk.scorePairs(pairs)
-
-	var matched []matching.Edge
-	switch lk.cfg.Matcher {
-	case MatcherHungarian:
-		matched = matching.Hungarian(edges)
-	default:
-		matched = matching.Greedy(edges)
-	}
-
-	weights := make([]float64, len(matched))
-	for i, e := range matched {
-		weights[i] = e.W
-	}
-	var thr threshold.Result
-	switch lk.cfg.Threshold {
-	case ThresholdNone:
-		// Keep every matched edge: edges only exist for positive scores,
-		// so any negative threshold is a no-op filter.
-		thr = threshold.Result{Threshold: -1, Method: "none"}
-	case ThresholdOtsu:
-		thr = threshold.SelectThresholdOtsu(weights)
-	case ThresholdKMeans:
-		thr = threshold.SelectThresholdKMeans(weights)
-	default:
-		thr = threshold.SelectThreshold(weights)
-	}
-	kept := matching.FilterThreshold(matched, thr.Threshold)
 
 	st := lk.scorer.Stats()
 	delta := similarity.Stats{
@@ -318,23 +386,103 @@ func (lk *Linker) Run() Result {
 		AlibiBinPairs:     st.AlibiBinPairs - lk.prevStats.AlibiBinPairs,
 	}
 	lk.prevStats = st
-	res := Result{
-		Links:           toLinks(kept),
-		Matched:         toLinks(matched),
-		Threshold:       thr.Threshold,
-		ThresholdMethod: string(thr.Method),
-		SpatialLevel:    lk.cfg.SpatialLevel,
-		Stats: Stats{
-			CandidatePairs:    int64(len(pairs)),
-			PositiveEdges:     int64(len(edges)),
-			BinComparisons:    delta.BinComparisons,
-			RecordComparisons: delta.RecordComparisons,
-			AlibiBinPairs:     delta.AlibiBinPairs,
-			LSH:               lk.lshStats,
-		},
-		Elapsed: time.Since(start),
+	stats := Stats{
+		CandidatePairs:    int64(len(pairs)),
+		PositiveEdges:     int64(len(edges)),
+		BinComparisons:    delta.BinComparisons,
+		RecordComparisons: delta.RecordComparisons,
+		AlibiBinPairs:     delta.AlibiBinPairs,
 	}
-	return res
+	if lk.lshStats != nil {
+		lshCopy := *lk.lshStats
+		stats.LSH = &lshCopy
+	}
+	return toLinks(edges), stats
+}
+
+// Run executes scoring, matching and thresholding and returns the result.
+// It can be called repeatedly, interleaved with AddE/AddI, to re-link a
+// dynamic feed; stats report per-run work.
+func (lk *Linker) Run() Result {
+	start := time.Now()
+	edges, stats := lk.RunEdges()
+	matched := MatchLinks(lk.cfg.Matcher, edges)
+	thr := SelectStopThreshold(lk.cfg.Threshold, LinkScores(matched))
+	return Result{
+		Links:           FilterLinks(matched, thr.Threshold),
+		Matched:         matched,
+		Threshold:       thr.Threshold,
+		ThresholdMethod: thr.Method,
+		SpatialLevel:    lk.cfg.SpatialLevel,
+		Stats:           stats,
+		Elapsed:         time.Since(start),
+	}
+}
+
+// StopThreshold is the outcome of a stop-threshold detection.
+type StopThreshold struct {
+	// Threshold is the selected stop score; links strictly above it are
+	// kept.
+	Threshold float64
+	// Method reports which detector produced the threshold.
+	Method string
+}
+
+// MatchLinks runs the configured bipartite matcher over positive scored
+// edges and returns the maximum-sum matching, sorted by descending score.
+func MatchLinks(matcher MatcherKind, edges []Link) []Link {
+	in := make([]matching.Edge, len(edges))
+	for i, e := range edges {
+		in[i] = matching.Edge{U: e.U, V: e.V, W: e.Score}
+	}
+	var matched []matching.Edge
+	switch matcher {
+	case MatcherHungarian:
+		matched = matching.Hungarian(in)
+	default:
+		matched = matching.Greedy(in)
+	}
+	return toLinks(matched)
+}
+
+// SelectStopThreshold applies the given stop-threshold detector to the
+// matched scores (Sec. 3.2 of the paper).
+func SelectStopThreshold(method ThresholdMethod, scores []float64) StopThreshold {
+	var thr threshold.Result
+	switch method {
+	case ThresholdNone:
+		// Keep every matched edge: edges only exist for positive scores,
+		// so any negative threshold is a no-op filter.
+		thr = threshold.Result{Threshold: -1, Method: "none"}
+	case ThresholdOtsu:
+		thr = threshold.SelectThresholdOtsu(scores)
+	case ThresholdKMeans:
+		thr = threshold.SelectThresholdKMeans(scores)
+	default:
+		thr = threshold.SelectThreshold(scores)
+	}
+	return StopThreshold{Threshold: thr.Threshold, Method: string(thr.Method)}
+}
+
+// LinkScores extracts the score column of a link list.
+func LinkScores(links []Link) []float64 {
+	out := make([]float64, len(links))
+	for i, l := range links {
+		out[i] = l.Score
+	}
+	return out
+}
+
+// FilterLinks returns the links scoring strictly above thr, preserving
+// order.
+func FilterLinks(links []Link, thr float64) []Link {
+	var out []Link
+	for _, l := range links {
+		if l.Score > thr {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // scorePairs fans candidate pairs across workers and keeps positive edges.
