@@ -7,10 +7,13 @@ package cmd_test
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -133,6 +136,47 @@ func TestCLIExperimentsTiny(t *testing.T) {
 	}
 }
 
+// startSlimd launches the service binary and waits for it to log its
+// bound address, returning the process and the base URL.
+func startSlimd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	// The service logs its bound address once it is serving.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.Index(rest, " "); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("slimd never reported its listen address")
+		return nil, ""
+	}
+}
+
 // TestCLISlimd boots the linkage service seeded with a generated
 // workload, exercises its HTTP API from the outside, and shuts it down
 // gracefully — the full service lifecycle as a deployment would see it.
@@ -151,40 +195,9 @@ func TestCLISlimd(t *testing.T) {
 		t.Fatalf("slim-gen summary missing: %s", genErr)
 	}
 
-	cmd := exec.Command(slimdBin,
+	cmd, base := startSlimd(t, slimdBin,
 		"-addr", "127.0.0.1:0", "-shards", "2", "-debounce", "100ms",
 		"-e", filepath.Join(dir, "E.csv"), "-i", filepath.Join(dir, "I.csv"))
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer cmd.Process.Kill()
-
-	// The service logs its bound address once it is serving.
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				rest := line[i+len("listening on "):]
-				if j := strings.Index(rest, " "); j > 0 {
-					rest = rest[:j]
-				}
-				addrCh <- rest
-			}
-		}
-	}()
-	var base string
-	select {
-	case addr := <-addrCh:
-		base = "http://" + addr
-	case <-time.After(30 * time.Second):
-		t.Fatal("slimd never reported its listen address")
-	}
 
 	get := func(path string, v any) int {
 		resp, err := http.Get(base + path)
@@ -252,5 +265,158 @@ func TestCLIErrorPaths(t *testing.T) {
 	// Nonexistent input file.
 	if err := exec.Command(linkBin, "-e", "nope.csv", "-i", "nope2.csv").Run(); err == nil {
 		t.Error("slim-link with missing files should fail")
+	}
+}
+
+// TestCLISlimdCrashRecovery is the durability e2e: stream batches into a
+// slimd with a data directory, kill -9 the process, restart it on the
+// same directory, and require the recovered service to serve identical
+// links (modulo relink version) without re-ingesting anything.
+func TestCLISlimdCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	slimdBin := build(t, dir, "slimd")
+	dataDir := filepath.Join(dir, "data")
+	args := []string{"-addr", "127.0.0.1:0", "-shards", "2", "-debounce", "1h",
+		"-threshold", "none", "-data-dir", dataDir, "-fsync-interval", "1ms"}
+
+	cmd1, base1 := startSlimd(t, slimdBin, args...)
+
+	type linkJSON struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	getLinks := func(base string) (links []linkJSON) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/links")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Links []linkJSON `json:"links"`
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET /v1/links = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Links
+	}
+	post := func(base, path string, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Stream three entity pairs in separate acknowledged batches.
+	mkBody := func(e string, off float64, startUnix int64) string {
+		var sb strings.Builder
+		sb.WriteString(`{"records":[`)
+		for k := 0; k < 20; k++ {
+			if k > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, `{"entity":%q,"lat":%g,"lng":-122.3,"unix":%d}`,
+				e, 37.5+off+float64(k%4)*0.06, startUnix+int64(k)*900)
+		}
+		sb.WriteString("]}")
+		return sb.String()
+	}
+	for i, e := range []string{"a", "b", "c"} {
+		off := float64(i) * 0.8
+		if resp := post(base1, "/v1/datasets/e/records", mkBody("e-"+e, off, 1_000_000)); resp.StatusCode != 202 {
+			t.Fatalf("ingest e-%s = %d", e, resp.StatusCode)
+		}
+		if resp := post(base1, "/v1/datasets/i/records", mkBody("i-"+e, off, 1_000_030)); resp.StatusCode != 202 {
+			t.Fatalf("ingest i-%s = %d", e, resp.StatusCode)
+		}
+	}
+	if resp := post(base1, "/v1/link", ""); resp.StatusCode != 200 {
+		t.Fatalf("POST /v1/link = %d", resp.StatusCode)
+	}
+	before := getLinks(base1)
+	if len(before) != 3 {
+		t.Fatalf("pre-crash links = %+v, want 3 pairs", before)
+	}
+
+	// kill -9: no graceful shutdown, no final checkpoint.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Restart on the same directory: recovery must replay the WAL. The
+	// seedless restart proves the links come from the data dir alone.
+	cmd2, base2 := startSlimd(t, slimdBin, args...)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted slimd never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	after := getLinks(base2)
+	if len(after) != len(before) {
+		t.Fatalf("recovered links = %+v, want %+v", after, before)
+	}
+	sortFn := func(ls []linkJSON) {
+		sort.Slice(ls, func(i, j int) bool { return ls[i].U < ls[j].U })
+	}
+	sortFn(before)
+	sortFn(after)
+	for i := range before {
+		if before[i].U != after[i].U || before[i].V != after[i].V ||
+			math.Abs(before[i].Score-after[i].Score) > 1e-9 {
+			t.Fatalf("link %d drifted across crash: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+
+	// Storage stats prove the persistence pipeline was exercised.
+	resp, err := http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Storage *struct {
+			NextSeq uint64 `json:"next_seq"`
+		} `json:"storage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Storage == nil || stats.Storage.NextSeq != 7 {
+		t.Fatalf("recovered storage stats = %+v, want next_seq 7 (6 replayed batches)", stats.Storage)
+	}
+
+	// Graceful shutdown of the recovered process.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd2.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("recovered slimd exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("recovered slimd did not shut down on SIGTERM")
 	}
 }

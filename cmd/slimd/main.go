@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv] [flags]
+//	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv]
+//	      [-data-dir ./data] [-fsync-interval 2ms] [-snapshot-every 8] [flags]
 //
 // The service may start empty (stream everything over the API) or seeded
 // with two CSV datasets (entity,lat,lng,unix), which are linked once at
-// boot. Linkage flags mirror slim-link: -window, -level, -max-speed, -b,
-// -min-records, -workers, -matcher, -threshold, and the -lsh family.
+// boot. With -data-dir, every acknowledged ingest batch is durably logged
+// to a write-ahead log before it is accepted, the engine state is
+// periodically compacted into snapshots, and a restart (even after
+// kill -9) recovers the full state and replays the WAL tail before
+// /readyz reports ready. Linkage flags mirror slim-link: -window, -level,
+// -max-speed, -b, -min-records, -workers, -matcher, -threshold, and the
+// -lsh family.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"slim"
 	"slim/internal/engine"
 	"slim/internal/server"
+	"slim/internal/storage"
 )
 
 func main() {
@@ -38,6 +45,11 @@ func main() {
 		debounce = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
 		ePath    = flag.String("e", "", "optional seed CSV for the first dataset")
 		iPath    = flag.String("i", "", "optional seed CSV for the second dataset")
+
+		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
+		fsyncInterval = flag.Duration("fsync-interval", storage.DefaultFsyncInterval, "WAL group-commit window (0 = fsync every append, <0 = never fsync)")
+		snapshotEvery = flag.Int("snapshot-every", storage.DefaultSnapshotEveryRuns, "checkpoint after this many relinks (<0 = only on WAL growth/shutdown)")
+		snapshotBytes = flag.Int64("snapshot-bytes", storage.DefaultSnapshotBytes, "checkpoint once this many WAL bytes were appended (<0 = never on bytes)")
 
 		window       = flag.Float64("window", 15, "temporal window width in minutes")
 		level        = flag.Int("level", 12, "spatial grid level (0 = auto-tune over the seed datasets)")
@@ -84,29 +96,77 @@ func main() {
 		logger.Fatal(err)
 	}
 
-	eng, err := engine.New(dsE, dsI, engine.Config{
+	engCfg := engine.Config{
 		Shards:   *shards,
 		Link:     cfg,
 		Debounce: *debounce,
-	})
-	if err != nil {
-		logger.Fatal(err)
+	}
+	var eng *engine.Engine
+	var store *storage.Store
+	if *dataDir != "" {
+		var info storage.RecoverInfo
+		eng, store, info, err = storage.Recover(*dataDir, dsE, dsI, engCfg, storage.Options{
+			FsyncInterval:     *fsyncInterval,
+			SnapshotEveryRuns: *snapshotEvery,
+			SnapshotBytes:     *snapshotBytes,
+			Logger:            logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if info.Recovered {
+			logger.Printf("recovered %s: snapshot through seq %d, %d batches (%d records) replayed from WAL; %d seed + %d streamed records",
+				*dataDir, info.SnapshotSeq, info.ReplayedBatches, info.ReplayedRecords, info.SeedRecords, info.StreamedRecords)
+			if *ePath != "" || *iPath != "" {
+				logger.Printf("note: -e/-i seed flags ignored; %s already holds persisted seeds", *dataDir)
+			}
+		} else {
+			logger.Printf("initialized data directory %s", *dataDir)
+		}
+	} else {
+		eng, err = engine.New(dsE, dsI, engCfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
 	}
 	eng.Start()
-	defer eng.Close()
+	// One deferred shutdown so the order is explicit: the engine first
+	// (waits out any in-flight relink), then the store, whose final
+	// checkpoint captures the last published result.
+	defer func() {
+		eng.Close()
+		if store != nil {
+			if err := store.Close(); err != nil {
+				logger.Printf("closing storage: %v", err)
+			}
+		}
+	}()
 
-	if dsE.Len() > 0 || dsI.Len() > 0 {
+	// Serve the recovered result when there is one (a clean shutdown's
+	// checkpoint; the background scheduler refreshes it shortly after
+	// boot). Otherwise link once at boot when there is anything to link:
+	// seed datasets, or recovered state whose replayed WAL tail
+	// invalidated the snapshot result.
+	if res, _, ok := eng.Result(); ok {
+		logger.Printf("serving recovered linkage: %d links at threshold %.4g", len(res.Links), res.Threshold)
+	} else if st := eng.Stats(); st.EntitiesE+st.EntitiesI > 0 || eng.Pending() > 0 {
 		res := eng.Run()
-		logger.Printf("seed linkage: %d links (of %d matched) at threshold %.4g in %v",
+		logger.Printf("boot linkage: %d links (of %d matched) at threshold %.4g in %v",
 			len(res.Links), len(res.Matched), res.Threshold, res.Elapsed)
 	}
+
+	srv := server.New(eng, logger)
+	if store != nil {
+		srv.AttachStore(store)
+	}
+	srv.SetReady()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	httpSrv := &http.Server{
-		Handler:           server.New(eng, logger).Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -113,6 +113,20 @@ func (sh *shard) rescore(totalE int) {
 	sh.ran.Store(true)
 }
 
+// Persister is the engine's durability hook, implemented by
+// internal/storage. LogE/LogI are called before a batch is buffered:
+// a batch is acknowledged to the caller only after it is durable, and a
+// log error rejects the batch entirely. The persister may canonicalize
+// records in place (e.g. quantize coordinates to the codec's fixed-point
+// resolution) so the live engine state matches what a recovery would
+// rebuild. AfterRun is called after each published relink so the
+// persister can capture the result and decide whether to checkpoint.
+type Persister interface {
+	LogE(recs []slim.Record) error
+	LogI(recs []slim.Record) error
+	AfterRun(res slim.Result, version uint64)
+}
+
 // Engine is a sharded, concurrent linkage engine. All methods are safe for
 // concurrent use.
 type Engine struct {
@@ -132,15 +146,24 @@ type Engine struct {
 	version uint64
 	lastRun time.Time
 
+	// pMu guards the persistence hook (attached once, after recovery
+	// feeding, before serving).
+	pMu     sync.RWMutex
+	persist Persister
+
 	ingestedE atomic.Uint64
 	ingestedI atomic.Uint64
 	runs      atomic.Uint64
 
-	kick    chan struct{}
-	stopCh  chan struct{}
-	done    chan struct{}
-	started atomic.Bool
-	closed  atomic.Bool
+	kick   chan struct{}
+	stopCh chan struct{}
+	done   chan struct{}
+
+	// lifeMu guards the start/close lifecycle so Close is idempotent and
+	// safe to race with Start.
+	lifeMu  sync.Mutex
+	started bool
+	closed  bool
 }
 
 // New builds an engine seeded with the given datasets (either may be
@@ -227,13 +250,34 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // SpatialLevel returns the history grid level shared by every shard.
 func (e *Engine) SpatialLevel() int { return e.level }
 
+// SetPersister attaches the durability hook. Recovery attaches it after
+// re-feeding persisted records (so they are not logged twice); from then
+// on every AddE/AddI batch is logged before it is buffered.
+func (e *Engine) SetPersister(p Persister) {
+	e.pMu.Lock()
+	e.persist = p
+	e.pMu.Unlock()
+}
+
+func (e *Engine) persister() Persister {
+	e.pMu.RLock()
+	defer e.pMu.RUnlock()
+	return e.persist
+}
+
 // AddE ingests records of the first dataset. Records are buffered on their
 // owning shard and applied by the next relink; ingest never blocks behind
 // a running linkage. Like Linker.AddE, streamed records bypass the
-// MinRecords seed filter.
-func (e *Engine) AddE(recs ...slim.Record) {
+// MinRecords seed filter. With a persister attached, the batch is durably
+// logged first; an error rejects the whole batch (nothing is buffered).
+func (e *Engine) AddE(recs ...slim.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
+	}
+	if p := e.persister(); p != nil {
+		if err := p.LogE(recs); err != nil {
+			return err
+		}
 	}
 	for _, r := range recs {
 		sh := e.shards[shardOf(r.Entity, len(e.shards))]
@@ -243,14 +287,20 @@ func (e *Engine) AddE(recs ...slim.Record) {
 	}
 	e.ingestedE.Add(uint64(len(recs)))
 	e.scheduleRelink()
+	return nil
 }
 
 // AddI ingests records of the second dataset. Every shard scores its E
 // partition against the full I dataset, so an I record fans out to all
 // shards (and dirties them all).
-func (e *Engine) AddI(recs ...slim.Record) {
+func (e *Engine) AddI(recs ...slim.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
+	}
+	if p := e.persister(); p != nil {
+		if err := p.LogI(recs); err != nil {
+			return err
+		}
 	}
 	for _, sh := range e.shards {
 		sh.pendMu.Lock()
@@ -259,6 +309,7 @@ func (e *Engine) AddI(recs ...slim.Record) {
 	}
 	e.ingestedI.Add(uint64(len(recs)))
 	e.scheduleRelink()
+	return nil
 }
 
 // Run drains pending ingest, re-scores every dirty shard (clean shards
@@ -354,9 +405,26 @@ func (e *Engine) Run() slim.Result {
 	e.mu.Lock()
 	e.cur = &res
 	e.version++
+	version := e.version
 	e.lastRun = time.Now()
 	e.mu.Unlock()
+
+	// Give the persister the published result (still under runMu, so
+	// checkpoints are serialized against the next relink).
+	if p := e.persister(); p != nil {
+		p.AfterRun(res, version)
+	}
 	return res
+}
+
+// RestoreResult installs a previously published result, e.g. one loaded
+// from a snapshot during recovery, so queries can be served before the
+// first fresh relink. Subsequent runs continue the version sequence.
+func (e *Engine) RestoreResult(res slim.Result, version uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cur = &res
+	e.version = version
 }
 
 // Result returns the most recently published result; ok is false before
@@ -472,11 +540,14 @@ func (e *Engine) scheduleRelink() {
 
 // Start launches the background relink scheduler: after ingest has been
 // quiet for the configured debounce, the engine re-links automatically.
-// Start is idempotent.
+// Start is idempotent and a no-op after Close.
 func (e *Engine) Start() {
-	if !e.started.CompareAndSwap(false, true) {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.started || e.closed {
 		return
 	}
+	e.started = true
 	go e.loop()
 }
 
@@ -511,14 +582,20 @@ func (e *Engine) loop() {
 	}
 }
 
-// Close stops the background scheduler (waiting for an in-flight relink to
-// finish). The engine remains queryable; Run may still be called manually.
+// Close stops the background scheduler, waiting for an in-flight relink
+// to finish. It is idempotent and safe to call concurrently with Start,
+// scheduleRelink, and a second Close: every Close call that observes a
+// started scheduler waits for it to exit. The engine remains queryable;
+// Run may still be called manually.
 func (e *Engine) Close() {
-	if !e.closed.CompareAndSwap(false, true) {
-		return
+	e.lifeMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.stopCh)
 	}
-	close(e.stopCh)
-	if e.started.Load() {
+	started := e.started
+	e.lifeMu.Unlock()
+	if started {
 		<-e.done
 	}
 }

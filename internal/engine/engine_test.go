@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"testing"
@@ -334,4 +335,152 @@ func relinkFixture(taxis int) (baseE, baseI slim.Dataset, tail []slim.Record) {
 	baseE = slim.Dataset{Name: "E", Records: beforeE}
 	baseI = w.I
 	return baseE, baseI, tail
+}
+
+// TestEngineCloseIdempotentAndRaced is the lifecycle -race gate: Close
+// must be idempotent and safe to race with Start, ingest (which nudges
+// scheduleRelink), a manual Run, and a background relink in flight.
+// Every Close that observes a started scheduler must block until the
+// scheduler goroutine — including its in-flight relink — has exited.
+func TestEngineCloseIdempotentAndRaced(t *testing.T) {
+	mk := func(e string, latOff float64, n int, startUnix int64) []slim.Record {
+		var out []slim.Record
+		for k := 0; k < n; k++ {
+			out = append(out, slim.NewRecord(slim.EntityID(e),
+				37.5+latOff+float64(k%4)*0.06, -122.3, startUnix+int64(k)*900))
+		}
+		return out
+	}
+	cfg := slim.Defaults()
+	cfg.Threshold = slim.ThresholdNone
+	eng, err := New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		Config{Shards: 2, Link: cfg, Debounce: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+
+	// Get a background relink moving before the Closes race in.
+	eng.AddE(mk("e-a", 0, 20, 1_000_000)...)
+	eng.AddI(mk("i-a", 0, 20, 1_000_030)...)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng.Close()
+		}()
+	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		eng.Start() // Start racing Close must not resurrect the scheduler
+	}()
+	go func() {
+		defer wg.Done()
+		// scheduleRelink racing Close
+		eng.AddE(mk("e-b", 0.8, 20, 1_000_000)...)
+		eng.AddI(mk("i-b", 0.8, 20, 1_000_030)...)
+	}()
+	go func() {
+		defer wg.Done()
+		eng.Run()
+	}()
+	wg.Wait()
+	eng.Close() // still idempotent after the dust settles
+
+	// The engine stays queryable and manually runnable after Close.
+	res := eng.Run()
+	if len(res.Links) == 0 {
+		t.Fatal("no links from post-Close manual run")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending after final run = %d", eng.Pending())
+	}
+}
+
+// recordingPersister is a test double for the storage hook.
+type recordingPersister struct {
+	mu               sync.Mutex
+	loggedE, loggedI int
+	runs             int
+	failE            bool
+}
+
+func (p *recordingPersister) LogE(recs []slim.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failE {
+		return errFailE
+	}
+	p.loggedE += len(recs)
+	return nil
+}
+
+func (p *recordingPersister) LogI(recs []slim.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.loggedI += len(recs)
+	return nil
+}
+
+func (p *recordingPersister) AfterRun(res slim.Result, version uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.runs++
+}
+
+var errFailE = errors.New("injected log failure")
+
+// TestEnginePersisterContract: batches are logged before they are
+// buffered, a log failure rejects the batch entirely, and every
+// published run reaches AfterRun.
+func TestEnginePersisterContract(t *testing.T) {
+	mk := func(e string, latOff float64, n int) []slim.Record {
+		var out []slim.Record
+		for k := 0; k < n; k++ {
+			out = append(out, slim.NewRecord(slim.EntityID(e),
+				37.5+latOff+float64(k%4)*0.06, -122.3, 1_000_000+int64(k)*900))
+		}
+		return out
+	}
+	cfg := slim.Defaults()
+	cfg.Threshold = slim.ThresholdNone
+	eng, err := New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		Config{Shards: 2, Link: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &recordingPersister{}
+	eng.SetPersister(p)
+
+	if err := eng.AddE(mk("e-a", 0, 20)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddI(mk("i-a", 0, 20)...); err != nil {
+		t.Fatal(err)
+	}
+	if p.loggedE != 20 || p.loggedI != 20 {
+		t.Fatalf("logged %d/%d, want 20/20", p.loggedE, p.loggedI)
+	}
+
+	p.failE = true
+	if err := eng.AddE(mk("e-bad", 1.6, 5)...); err == nil {
+		t.Fatal("AddE with failing persister succeeded")
+	}
+	st := eng.Stats()
+	if st.IngestedE != 20 {
+		t.Fatalf("rejected batch counted as ingested: %d", st.IngestedE)
+	}
+	// 20 E + 20 I (counted once per shard, 2 shards) = 60; the rejected
+	// 5-record batch must not appear.
+	if eng.Pending() != 60 {
+		t.Fatalf("rejected batch buffered: pending=%d, want 60", eng.Pending())
+	}
+
+	eng.Run()
+	if p.runs != 1 {
+		t.Fatalf("AfterRun called %d times, want 1", p.runs)
+	}
 }

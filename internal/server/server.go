@@ -5,10 +5,13 @@
 //
 //	POST /v1/datasets/{e|i}/records   batched record ingest
 //	POST /v1/link                     trigger a synchronous relink
+//	POST /v1/snapshot                 manual storage checkpoint (503 without a data dir)
 //	GET  /v1/links                    current links (?limit=&offset=&min_score=)
 //	GET  /v1/links/{entity}           links involving one entity (either side)
-//	GET  /v1/stats                    engine + last-run statistics
+//	GET  /v1/stats                    engine + last-run + storage statistics
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness probe: 503 until recovery and
+//	                                  the initial seed link have completed
 //
 // Ingested records are buffered per shard and applied by the next relink
 // (debounced in the background when the engine's scheduler is started, or
@@ -25,10 +28,12 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/storage"
 )
 
 // MaxIngestBody bounds one ingest request body (16 MiB).
@@ -36,23 +41,37 @@ const MaxIngestBody = 16 << 20
 
 // Server routes HTTP requests onto an engine.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
-	log *log.Logger
+	eng   *engine.Engine
+	store *storage.Store // nil when running without a data directory
+	mux   *http.ServeMux
+	log   *log.Logger
+	ready atomic.Bool
 }
 
 // New builds a server over the engine. logger may be nil to disable
-// request logging.
+// request logging. The server starts not-ready: the process must call
+// SetReady once recovery and the initial seed link are done, so load
+// balancers watching /readyz never route to a node that is still
+// replaying its WAL.
 func New(eng *engine.Engine, logger *log.Logger) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
 	s.mux.HandleFunc("POST /v1/datasets/{dataset}/records", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/link", s.handleLink)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
 	s.mux.HandleFunc("GET /v1/links/{entity}", s.handleLinksFor)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
+
+// AttachStore wires the durable storage layer in: /v1/snapshot becomes
+// operational and /v1/stats grows storage counters. Call before serving.
+func (s *Server) AttachStore(st *storage.Store) { s.store = st }
+
+// SetReady marks the node ready for traffic (see New).
+func (s *Server) SetReady() { s.ready.Store(true) }
 
 // Handler returns the root handler (request logging included).
 func (s *Server) Handler() http.Handler {
@@ -127,10 +146,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		rec.RadiusKm = r.RadiusKm
 		recs[i] = rec
 	}
+	var err error
 	if ds == "e" {
-		s.eng.AddE(recs...)
+		err = s.eng.AddE(recs...)
 	} else {
-		s.eng.AddI(recs...)
+		err = s.eng.AddI(recs...)
+	}
+	if err != nil {
+		// The batch was not durably logged and was not buffered: the
+		// client must not treat it as accepted.
+		s.error(w, http.StatusInternalServerError, fmt.Sprintf("persisting batch: %v", err))
+		return
 	}
 	s.json(w, http.StatusAccepted, ingestResponse{
 		Accepted: len(recs),
@@ -260,20 +286,35 @@ func (s *Server) handleLinksFor(w http.ResponseWriter, req *http.Request) {
 	}{Entity: entity, Links: toLinkJSON(links)})
 }
 
+type storageStatsJSON struct {
+	Dir                string  `json:"dir"`
+	FsyncIntervalMs    float64 `json:"fsync_interval_ms"`
+	BatchesLogged      uint64  `json:"batches_logged"`
+	RecordsLogged      uint64  `json:"records_logged"`
+	WALBytesAppended   int64   `json:"wal_bytes_appended"`
+	WALSegments        int     `json:"wal_segments"`
+	WALDiskBytes       int64   `json:"wal_disk_bytes"`
+	Snapshots          uint64  `json:"snapshots"`
+	LastSnapshotSeq    uint64  `json:"last_snapshot_seq"`
+	LastSnapshotUnixMs int64   `json:"last_snapshot_unix_ms,omitempty"`
+	NextSeq            uint64  `json:"next_seq"`
+}
+
 type statsResponse struct {
-	Shards         int     `json:"shards"`
-	SpatialLevel   int     `json:"spatial_level"`
-	EntitiesE      int     `json:"entities_e"`
-	EntitiesI      int     `json:"entities_i"`
-	IngestedE      uint64  `json:"ingested_e"`
-	IngestedI      uint64  `json:"ingested_i"`
-	PendingRecords int     `json:"pending_records"`
-	DirtyShards    int     `json:"dirty_shards"`
-	Runs           uint64  `json:"runs"`
-	Version        uint64  `json:"version"`
-	LastRunUnixMs  int64   `json:"last_run_unix_ms,omitempty"`
-	Links          int     `json:"links"`
-	Threshold      float64 `json:"threshold"`
+	Shards         int               `json:"shards"`
+	SpatialLevel   int               `json:"spatial_level"`
+	EntitiesE      int               `json:"entities_e"`
+	EntitiesI      int               `json:"entities_i"`
+	IngestedE      uint64            `json:"ingested_e"`
+	IngestedI      uint64            `json:"ingested_i"`
+	PendingRecords int               `json:"pending_records"`
+	DirtyShards    int               `json:"dirty_shards"`
+	Runs           uint64            `json:"runs"`
+	Version        uint64            `json:"version"`
+	LastRunUnixMs  int64             `json:"last_run_unix_ms,omitempty"`
+	Links          int               `json:"links"`
+	Threshold      float64           `json:"threshold"`
+	Storage        *storageStatsJSON `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
@@ -295,11 +336,60 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	if !st.LastRun.IsZero() {
 		resp.LastRunUnixMs = st.LastRun.UnixMilli()
 	}
+	if s.store != nil {
+		sst := s.store.Stats()
+		resp.Storage = &storageStatsJSON{
+			Dir:                sst.Dir,
+			FsyncIntervalMs:    sst.FsyncIntervalMs,
+			BatchesLogged:      sst.BatchesLogged,
+			RecordsLogged:      sst.RecordsLogged,
+			WALBytesAppended:   sst.WALBytesAppended,
+			WALSegments:        sst.WALSegments,
+			WALDiskBytes:       sst.WALDiskBytes,
+			Snapshots:          sst.Snapshots,
+			LastSnapshotSeq:    sst.LastSnapshotSeq,
+			LastSnapshotUnixMs: sst.LastSnapshotUnixMs,
+			NextSeq:            sst.NextSeq,
+		}
+	}
 	s.json(w, http.StatusOK, resp)
+}
+
+type snapshotResponse struct {
+	Path            string `json:"path"`
+	LastSeq         uint64 `json:"last_seq"`
+	SeedRecords     int    `json:"seed_records"`
+	StreamedRecords int    `json:"streamed_records"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	if s.store == nil {
+		s.error(w, http.StatusServiceUnavailable, "no data directory configured (-data-dir)")
+		return
+	}
+	info, err := s.store.Checkpoint()
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
+		return
+	}
+	s.json(w, http.StatusOK, snapshotResponse{
+		Path:            info.Path,
+		LastSeq:         info.LastSeq,
+		SeedRecords:     info.SeedRecords,
+		StreamedRecords: info.StreamedRecords,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	s.json(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if !s.ready.Load() {
+		s.error(w, http.StatusServiceUnavailable, "recovering")
+		return
+	}
+	s.json(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // decodeJSON strictly decodes one JSON body into v.

@@ -11,6 +11,7 @@ import (
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/storage"
 )
 
 // newTestServer boots an empty 4-shard engine behind an httptest server.
@@ -279,5 +280,131 @@ func TestServerBackgroundRelink(t *testing.T) {
 			t.Fatal("background relink never served links")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerReadiness: /readyz must gate traffic until the process marks
+// recovery + seed linkage done; /healthz stays live throughout.
+func TestServerReadiness(t *testing.T) {
+	eng, err := engine.New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		engine.Config{Shards: 2, Link: slim.Defaults(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(eng.Close)
+
+	if resp := getJSON(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady = %d, want 503", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while not ready = %d, want 200", resp.StatusCode)
+	}
+	srv.SetReady()
+	var ready struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &ready); resp.StatusCode != http.StatusOK || ready.Status != "ready" {
+		t.Fatalf("readyz after SetReady = %d %+v", resp.StatusCode, ready)
+	}
+}
+
+// TestServerSnapshotEndpoint: without a data directory the manual
+// checkpoint reports 503; with one it checkpoints and the storage
+// counters appear in /v1/stats.
+func TestServerSnapshotEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp, body := postJSON(t, ts.URL+"/v1/snapshot", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot without store = %d %s, want 503", resp.StatusCode, body)
+	}
+
+	dir := t.TempDir()
+	eng, store, _, err := storage.Recover(dir, slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		engine.Config{Shards: 2, Link: slim.Defaults(), Debounce: time.Hour}, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, nil)
+	srv.AttachStore(store)
+	srv.SetReady()
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(func() { store.Close() })
+	t.Cleanup(eng.Close)
+
+	mk := func(e string, n int, off float64) []slim.Record {
+		var out []slim.Record
+		for k := 0; k < n; k++ {
+			out = append(out, slim.NewRecord(slim.EntityID(e), 37.5+off+float64(k%4)*0.06, -122.3, 1_000_000+int64(k)*900))
+		}
+		return out
+	}
+	if resp, body := postJSON(t, ts2.URL+"/v1/datasets/e/records",
+		map[string]any{"records": toWire(mk("e-a", 20, 0))}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+
+	var snap struct {
+		Path            string `json:"path"`
+		LastSeq         uint64 `json:"last_seq"`
+		StreamedRecords int    `json:"streamed_records"`
+	}
+	resp, body := postJSON(t, ts2.URL+"/v1/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot = %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.LastSeq != 1 || snap.StreamedRecords != 20 || snap.Path == "" {
+		t.Fatalf("snapshot response %+v", snap)
+	}
+
+	var stats struct {
+		Storage *struct {
+			BatchesLogged int    `json:"batches_logged"`
+			RecordsLogged int    `json:"records_logged"`
+			Snapshots     uint64 `json:"snapshots"`
+			WALSegments   int    `json:"wal_segments"`
+			Dir           string `json:"dir"`
+		} `json:"storage"`
+	}
+	getJSON(t, ts2.URL+"/v1/stats", &stats)
+	if stats.Storage == nil {
+		t.Fatal("stats missing storage section")
+	}
+	// Snapshots: 1 initial (fresh dir) + 1 manual.
+	if stats.Storage.BatchesLogged != 1 || stats.Storage.RecordsLogged != 20 ||
+		stats.Storage.Snapshots != 2 || stats.Storage.Dir != dir {
+		t.Fatalf("storage stats %+v", stats.Storage)
+	}
+}
+
+// TestServerIngestFailsClosed: when the persister cannot log a batch the
+// ingest request must fail and nothing may be buffered.
+func TestServerIngestFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	eng, store, _, err := storage.Recover(dir, slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		engine.Config{Shards: 2, Link: slim.Defaults(), Debounce: time.Hour}, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, nil)
+	srv.AttachStore(store)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(eng.Close)
+
+	store.Close() // storage gone: the service must stop acknowledging ingest
+	rec := slim.NewRecord("e-x", 37.5, -122.3, 1_000_000)
+	resp, body := postJSON(t, ts.URL+"/v1/datasets/e/records",
+		map[string]any{"records": toWire([]slim.Record{rec})})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("ingest with dead store = %d %s, want 500", resp.StatusCode, body)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("failed batch buffered: pending=%d", eng.Pending())
 	}
 }

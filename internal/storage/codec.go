@@ -1,0 +1,246 @@
+// Package storage is slimd's durability layer: a compact binary codec
+// for mobility records, an append-only segmented write-ahead log with
+// group-commit fsync, atomic engine snapshots, and crash recovery that
+// rebuilds a ready engine.Engine from the newest valid snapshot plus the
+// WAL tail.
+//
+// Layering: the engine calls the Store through the narrow
+// engine.Persister interface (log-before-buffer on ingest, a snapshot
+// trigger after each relink); Recover composes the loaded state back
+// into an engine. Nothing in the scoring pipeline knows storage exists.
+//
+// On-disk layout of a data directory:
+//
+//	wal-00000001.seg     CRC32C-framed record batches (see Frame format)
+//	wal-00000002.seg     ... one file per segment, strictly ordered
+//	snapshot-<seq>.snap  full engine state through WAL sequence <seq>
+//
+// Frame format (shared by WAL segments and snapshot sections):
+//
+//	u32le payload length | u32le CRC32C(payload) | payload
+//
+// A torn final frame (short header, short payload, or CRC mismatch at a
+// segment tail) marks the end of the committed log; it is tolerated on
+// replay and never acknowledged to a client, because Append only returns
+// after the frame's fsync policy is satisfied.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"slim"
+	"slim/internal/geo"
+)
+
+// maxFramePayload bounds a single frame so a corrupt length field cannot
+// drive a giant allocation on replay (64 MiB).
+const maxFramePayload = 64 << 20
+
+// frameHeaderLen is the fixed frame header: u32 length + u32 CRC32C.
+const frameHeaderLen = 8
+
+// castagnoli is the CRC32C table used for every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one CRC-framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// errTornFrame reports an incomplete or corrupt frame — the expected
+// shape of a crash mid-append at a log tail.
+var errTornFrame = errors.New("storage: torn frame")
+
+// nextFrame slices one frame off buf, returning the payload and the rest.
+// It returns errTornFrame when buf ends mid-frame or the checksum does
+// not match: callers replaying a log tail treat that as end-of-log.
+func nextFrame(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < frameHeaderLen {
+		return nil, nil, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxFramePayload {
+		return nil, nil, errTornFrame
+	}
+	want := binary.LittleEndian.Uint32(buf[4:8])
+	body := buf[frameHeaderLen:]
+	if uint32(len(body)) < n {
+		return nil, nil, errTornFrame
+	}
+	payload = body[:n]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, nil, errTornFrame
+	}
+	return payload, body[n:], nil
+}
+
+// Dataset tags carried in every WAL batch frame.
+const (
+	TagE = 'E' // first dataset (hash-partitioned side)
+	TagI = 'I' // second dataset (replicated side)
+)
+
+// latLngScale is the fixed-point coordinate scale: 1e-7 degrees (the
+// conventional "E7" representation, ~1.1 cm at the equator). Encoding is
+// deliberately lossy at that resolution; history grid cells are multiple
+// orders of magnitude coarser, so linkage output is unaffected.
+const latLngScale = 1e7
+
+// e7 quantizes one coordinate to fixed point.
+func e7(deg float64) int64 { return int64(math.Round(deg * latLngScale)) }
+
+// QuantizeRecord returns the record as the codec will reproduce it: the
+// position rounded to E7 fixed point. Tests compare against this.
+func QuantizeRecord(r slim.Record) slim.Record {
+	r.LatLng = geo.LatLng{
+		Lat: float64(e7(r.LatLng.Lat)) / latLngScale,
+		Lng: float64(e7(r.LatLng.Lng)) / latLngScale,
+	}
+	return r
+}
+
+// zigzag / unzigzag map signed integers onto unsigned varint space.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendRecords appends the compact wire form of a record batch:
+//
+//	uvarint count
+//	per record:
+//	  uvarint len(entity) | entity bytes
+//	  varint  delta(unix) from the previous record (zigzag)
+//	  varint  lat, lng as E7 fixed point (zigzag)
+//	  uvarint IEEE-754 bits of RadiusKm (0 for point records)
+//
+// Timestamps are delta-coded against the previous record in the batch:
+// ingest batches arrive roughly time-ordered, so deltas are small.
+func appendRecords(dst []byte, recs []slim.Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	prevUnix := int64(0)
+	for _, r := range recs {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Entity)))
+		dst = append(dst, r.Entity...)
+		dst = binary.AppendUvarint(dst, zigzag(r.Unix-prevUnix))
+		prevUnix = r.Unix
+		dst = binary.AppendUvarint(dst, zigzag(e7(r.LatLng.Lat)))
+		dst = binary.AppendUvarint(dst, zigzag(e7(r.LatLng.Lng)))
+		dst = binary.AppendUvarint(dst, math.Float64bits(r.RadiusKm))
+	}
+	return dst
+}
+
+// errCorrupt reports a structurally invalid payload (a frame whose CRC
+// passed but whose contents do not decode — always a bug or disk fault,
+// never an expected crash artifact).
+var errCorrupt = errors.New("storage: corrupt payload")
+
+// byteReader walks a payload with varint helpers.
+type byteReader struct {
+	buf []byte
+	err error
+}
+
+func (b *byteReader) uvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(b.buf)
+	if n <= 0 {
+		b.err = errCorrupt
+		return 0
+	}
+	b.buf = b.buf[n:]
+	return v
+}
+
+func (b *byteReader) bytes(n uint64) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if n > uint64(len(b.buf)) {
+		b.err = errCorrupt
+		return nil
+	}
+	out := b.buf[:n]
+	b.buf = b.buf[n:]
+	return out
+}
+
+// readRecords decodes a batch written by appendRecords.
+func (b *byteReader) readRecords() []slim.Record {
+	n := b.uvarint()
+	if b.err != nil {
+		return nil
+	}
+	// Guard the allocation: each record costs at least 5 payload bytes.
+	if n > uint64(len(b.buf)) {
+		b.err = errCorrupt
+		return nil
+	}
+	recs := make([]slim.Record, 0, n)
+	prevUnix := int64(0)
+	for i := uint64(0); i < n; i++ {
+		entity := string(b.bytes(b.uvarint()))
+		unix := prevUnix + unzigzag(b.uvarint())
+		prevUnix = unix
+		lat := float64(unzigzag(b.uvarint())) / latLngScale
+		lng := float64(unzigzag(b.uvarint())) / latLngScale
+		radius := math.Float64frombits(b.uvarint())
+		if b.err != nil {
+			return nil
+		}
+		recs = append(recs, slim.Record{
+			Entity:   slim.EntityID(entity),
+			LatLng:   geo.LatLng{Lat: lat, Lng: lng},
+			Unix:     unix,
+			RadiusKm: radius,
+		})
+	}
+	return recs
+}
+
+// Batch is one WAL entry: a sequenced record batch bound for one dataset.
+type Batch struct {
+	Seq  uint64
+	Tag  byte // TagE or TagI
+	Recs []slim.Record
+}
+
+// appendBatch appends the payload form of one WAL batch (framing is the
+// WAL's job): uvarint seq | tag byte | records.
+func appendBatch(dst []byte, b Batch) []byte {
+	dst = binary.AppendUvarint(dst, b.Seq)
+	dst = append(dst, b.Tag)
+	return appendRecords(dst, b.Recs)
+}
+
+// decodeBatch decodes a WAL batch payload.
+func decodeBatch(payload []byte) (Batch, error) {
+	r := &byteReader{buf: payload}
+	var b Batch
+	b.Seq = r.uvarint()
+	tag := r.bytes(1)
+	if r.err != nil {
+		return Batch{}, r.err
+	}
+	b.Tag = tag[0]
+	if b.Tag != TagE && b.Tag != TagI {
+		return Batch{}, fmt.Errorf("%w: unknown dataset tag %q", errCorrupt, b.Tag)
+	}
+	b.Recs = r.readRecords()
+	if r.err != nil {
+		return Batch{}, r.err
+	}
+	if len(r.buf) != 0 {
+		return Batch{}, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(r.buf))
+	}
+	return b, nil
+}

@@ -1,0 +1,300 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slim"
+)
+
+// Snapshot file layout: a sequence of CRC frames (same framing as the
+// WAL) — header, seedE, seedI, streamE, streamI, result, footer. The
+// footer frame proves the snapshot was written to completion; a snapshot
+// missing it (crash mid-write before the atomic rename could even
+// happen) is ignored by the loader. Files are written to a temp name and
+// renamed into place, so a data directory never holds a partially
+// visible snapshot under the real name.
+
+const (
+	snapMagic  = "slimsnap1"
+	snapFooter = "slimsnapend"
+	snapPrefix = "snapshot-"
+	snapSuffix = ".snap"
+)
+
+func snapName(lastSeq uint64) string {
+	return fmt.Sprintf("%s%016d%s", snapPrefix, lastSeq, snapSuffix)
+}
+
+// resultData is the persisted slice of a slim.Result: enough to serve
+// /v1/links immediately after recovery, before the first fresh relink.
+type resultData struct {
+	links        []slim.Link
+	threshold    float64
+	method       string
+	spatialLevel int
+	version      uint64
+}
+
+// snapshotData is the full persisted engine state: the immutable seed
+// datasets, every streamed (WAL-logged) record through lastSeq, and the
+// last published result.
+type snapshotData struct {
+	lastSeq          uint64
+	seedE, seedI     slim.Dataset
+	streamE, streamI []slim.Record
+	result           *resultData
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func (b *byteReader) readString() string {
+	return string(b.bytes(b.uvarint()))
+}
+
+func appendDataset(dst []byte, d slim.Dataset) []byte {
+	dst = appendString(dst, d.Name)
+	return appendRecords(dst, d.Records)
+}
+
+func (b *byteReader) readDataset() slim.Dataset {
+	name := b.readString()
+	return slim.Dataset{Name: name, Records: b.readRecords()}
+}
+
+// encodeSnapshot serializes the snapshot as framed sections.
+func encodeSnapshot(d *snapshotData) []byte {
+	hdr := appendString(nil, snapMagic)
+	hdr = binary.AppendUvarint(hdr, d.lastSeq)
+
+	var res []byte
+	if d.result != nil {
+		res = append(res, 1)
+		res = binary.AppendUvarint(res, uint64(len(d.result.links)))
+		for _, l := range d.result.links {
+			res = appendString(res, string(l.U))
+			res = appendString(res, string(l.V))
+			res = binary.AppendUvarint(res, math.Float64bits(l.Score))
+		}
+		res = binary.AppendUvarint(res, math.Float64bits(d.result.threshold))
+		res = appendString(res, d.result.method)
+		res = binary.AppendUvarint(res, uint64(d.result.spatialLevel))
+		res = binary.AppendUvarint(res, d.result.version)
+	} else {
+		res = append(res, 0)
+	}
+
+	out := appendFrame(nil, hdr)
+	out = appendFrame(out, appendDataset(nil, d.seedE))
+	out = appendFrame(out, appendDataset(nil, d.seedI))
+	out = appendFrame(out, appendRecords(nil, d.streamE))
+	out = appendFrame(out, appendRecords(nil, d.streamI))
+	out = appendFrame(out, res)
+	return appendFrame(out, []byte(snapFooter))
+}
+
+// decodeSnapshot parses a snapshot file; any framing, checksum, or
+// structural fault is an error (the loader then falls back to an older
+// snapshot).
+func decodeSnapshot(buf []byte) (*snapshotData, error) {
+	frames := make([][]byte, 0, 7)
+	for len(buf) > 0 && len(frames) < 7 {
+		payload, rest, err := nextFrame(buf)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, payload)
+		buf = rest
+	}
+	if len(frames) != 7 || len(buf) != 0 {
+		return nil, errCorrupt
+	}
+	if string(frames[6]) != snapFooter {
+		return nil, fmt.Errorf("%w: missing footer", errCorrupt)
+	}
+
+	h := &byteReader{buf: frames[0]}
+	if h.readString() != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	d := &snapshotData{lastSeq: h.uvarint()}
+	if h.err != nil {
+		return nil, h.err
+	}
+
+	rE := &byteReader{buf: frames[1]}
+	d.seedE = rE.readDataset()
+	rI := &byteReader{buf: frames[2]}
+	d.seedI = rI.readDataset()
+	sE := &byteReader{buf: frames[3]}
+	d.streamE = sE.readRecords()
+	sI := &byteReader{buf: frames[4]}
+	d.streamI = sI.readRecords()
+	for _, r := range []*byteReader{rE, rI, sE, sI} {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	rr := &byteReader{buf: frames[5]}
+	present := rr.bytes(1)
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	if present[0] == 1 {
+		n := rr.uvarint()
+		if rr.err != nil || n > uint64(len(rr.buf)) {
+			return nil, errCorrupt
+		}
+		res := &resultData{links: make([]slim.Link, 0, n)}
+		for i := uint64(0); i < n; i++ {
+			u := rr.readString()
+			v := rr.readString()
+			score := math.Float64frombits(rr.uvarint())
+			res.links = append(res.links, slim.Link{U: slim.EntityID(u), V: slim.EntityID(v), Score: score})
+		}
+		res.threshold = math.Float64frombits(rr.uvarint())
+		res.method = rr.readString()
+		res.spatialLevel = int(rr.uvarint())
+		res.version = rr.uvarint()
+		if rr.err != nil {
+			return nil, rr.err
+		}
+		d.result = res
+	}
+	return d, nil
+}
+
+// writeSnapshot durably writes the snapshot: temp file, fsync, atomic
+// rename, directory fsync. Returns the final path.
+func writeSnapshot(dir string, d *snapshotData) (string, error) {
+	buf := encodeSnapshot(d)
+	final := filepath.Join(dir, snapName(d.lastSeq))
+	tmp, err := os.CreateTemp(dir, snapPrefix+"*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return "", err
+	}
+	return final, syncDir(dir)
+}
+
+// snapshotFile is one snapshot found on disk.
+type snapshotFile struct {
+	lastSeq uint64
+	path    string
+}
+
+// listSnapshots returns the directory's snapshots, newest (highest
+// lastSeq) first. Leftover temp files are ignored.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapshotFile{lastSeq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lastSeq > snaps[j].lastSeq })
+	return snaps, nil
+}
+
+// loadNewestSnapshot returns the newest snapshot (nil if the directory
+// has none). It fails stop rather than fail open: the temp-rename write
+// protocol means a *.snap that does not read and decode cleanly is real
+// corruption, never a crash artifact, and silently falling back — to an
+// older snapshot or to nothing — would serve time-traveled state and
+// then permanently destroy the damaged history at the next checkpoint
+// truncation. The operator must remove the named file to accept that
+// loss explicitly.
+func loadNewestSnapshot(dir string) (*snapshotData, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, nil
+	}
+	sf := snaps[0]
+	buf, err := os.ReadFile(sf.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", sf.path, err)
+	}
+	d, err := decodeSnapshot(buf)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s is corrupt (%w); remove it to recover from an older snapshot or the WAL alone, accepting the loss it covered", sf.path, err)
+	}
+	return d, nil
+}
+
+// removeOrphanTemps deletes snapshot temp files left by a crash between
+// CreateTemp and the atomic rename. Called from Recover, before any
+// concurrent checkpoint can be writing a live temp file.
+func removeOrphanTemps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeSnapshotsBefore deletes snapshots older than keepSeq (called
+// after a newer snapshot is durable).
+func removeSnapshotsBefore(dir string, keepSeq uint64) error {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, sf := range snaps {
+		if sf.lastSeq < keepSeq {
+			if err := os.Remove(sf.path); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"slim"
+)
+
+func testSnapshotData(rng *rand.Rand) *snapshotData {
+	return &snapshotData{
+		lastSeq: 42,
+		seedE:   slim.Dataset{Name: "E", Records: quantizeAll(randRecords(rng, 30))},
+		seedI:   slim.Dataset{Name: "I", Records: quantizeAll(randRecords(rng, 25))},
+		streamE: quantizeAll(randRecords(rng, 12)),
+		streamI: quantizeAll(randRecords(rng, 0)),
+		result: &resultData{
+			links:        []slim.Link{{U: "e-a", V: "i-a", Score: 3.25}, {U: "e-b", V: "i-b", Score: 1.5}},
+			threshold:    0.75,
+			method:       "gmm",
+			spatialLevel: 12,
+			version:      7,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dir := t.TempDir()
+	in := testSnapshotData(rng)
+	path, err := writeSnapshot(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != snapName(42) {
+		t.Fatalf("snapshot path %s", path)
+	}
+	out, err := loadNewestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no snapshot loaded")
+	}
+	if out.lastSeq != in.lastSeq ||
+		!reflect.DeepEqual(out.seedE, in.seedE) ||
+		!reflect.DeepEqual(out.seedI, in.seedI) ||
+		!reflect.DeepEqual(out.streamE, in.streamE) ||
+		len(out.streamI) != 0 ||
+		!reflect.DeepEqual(out.result, in.result) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestSnapshotNoResult(t *testing.T) {
+	dir := t.TempDir()
+	in := &snapshotData{lastSeq: 1, seedE: slim.Dataset{Name: "E"}, seedI: slim.Dataset{Name: "I"}}
+	if _, err := writeSnapshot(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := loadNewestSnapshot(dir)
+	if err != nil || out == nil || out.result != nil {
+		t.Fatalf("out=%+v err=%v", out, err)
+	}
+}
+
+// TestSnapshotLoaderFailsStopOnCorruption: the loader serves the newest
+// snapshot, and a corrupt newest is a hard error (never a silent
+// fallback that would time-travel state and destroy the damaged history
+// at the next truncation); removing the corrupt file is the explicit
+// operator action that re-enables recovery from the older snapshot.
+func TestSnapshotLoaderFailsStopOnCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dir := t.TempDir()
+	old := testSnapshotData(rng)
+	old.lastSeq = 10
+	if _, err := writeSnapshot(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	newer := testSnapshotData(rng)
+	newer.lastSeq = 20
+	path, err := writeSnapshot(dir, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: with both valid, the newest wins.
+	got, err := loadNewestSnapshot(dir)
+	if err != nil || got == nil || got.lastSeq != 20 {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+
+	// Corrupt the newest (bitrot / non-atomic filesystem): loading must
+	// fail stop, naming the damaged file.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadNewestSnapshot(dir); err == nil {
+		t.Fatal("corrupt newest snapshot loaded (or silently skipped)")
+	}
+
+	// Removing the corrupt file is the explicit path back to the older
+	// snapshot.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadNewestSnapshot(dir)
+	if err != nil || got == nil || got.lastSeq != 10 {
+		t.Fatalf("after removal: got %+v, %v", got, err)
+	}
+}
+
+func TestSnapshotIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapPrefix+"12345.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadNewestSnapshot(dir)
+	if err != nil || got != nil {
+		t.Fatalf("temp file treated as snapshot: %+v, %v", got, err)
+	}
+}
+
+func TestRemoveSnapshotsBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 10, 15} {
+		d := testSnapshotData(rng)
+		d.lastSeq = seq
+		if _, err := writeSnapshot(dir, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := removeSnapshotsBefore(dir, 15); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].lastSeq != 15 {
+		t.Fatalf("kept %+v, want only seq 15", snaps)
+	}
+}

@@ -1,0 +1,324 @@
+package storage
+
+import (
+	"errors"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slim"
+)
+
+// DefaultSnapshotEveryRuns is the auto-checkpoint relink cadence.
+const DefaultSnapshotEveryRuns = 8
+
+// DefaultSnapshotBytes is the auto-checkpoint WAL-growth trigger (64 MiB
+// appended since the last snapshot).
+const DefaultSnapshotBytes = 64 << 20
+
+// Options parameterizes a data directory.
+type Options struct {
+	// FsyncInterval selects the WAL durability policy: 0 fsyncs inline on
+	// every append, >0 group-commits on that interval, <0 never fsyncs
+	// (see the policy comment in wal.go).
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL rotation size (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEveryRuns checkpoints after this many relinks (0 =
+	// DefaultSnapshotEveryRuns, <0 = never on run count).
+	SnapshotEveryRuns int
+	// SnapshotBytes checkpoints once this many WAL bytes were appended
+	// since the last snapshot (0 = DefaultSnapshotBytes, <0 = never on
+	// bytes).
+	SnapshotBytes int64
+	// Logger, when set, receives auto-checkpoint failures (which have no
+	// caller to report to).
+	Logger *log.Logger
+}
+
+func (o Options) snapshotEveryRuns() int {
+	if o.SnapshotEveryRuns == 0 {
+		return DefaultSnapshotEveryRuns
+	}
+	return o.SnapshotEveryRuns
+}
+
+func (o Options) snapshotBytes() int64 {
+	if o.SnapshotBytes == 0 {
+		return DefaultSnapshotBytes
+	}
+	return o.SnapshotBytes
+}
+
+// Store is the durable home of one engine's state: it logs every ingest
+// batch to the WAL before the engine buffers it, keeps the authoritative
+// in-memory copy of the seed datasets and all streamed records, and
+// periodically compacts WAL history into an atomic snapshot. It
+// implements engine.Persister.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu               sync.Mutex
+	wal              *wal
+	seedE, seedI     slim.Dataset
+	streamE, streamI []slim.Record
+	nextSeq          uint64
+	lastResult       *resultData
+	runsSinceSnap    int
+	bytesSinceSnap   int64
+	closed           bool
+
+	// snapMu serializes whole checkpoints (auto trigger vs. the manual
+	// /v1/snapshot endpoint vs. Close).
+	snapMu sync.Mutex
+	// autoCP coalesces async auto-checkpoints: at most one in flight.
+	autoCP atomic.Bool
+
+	batchesLogged  atomic.Uint64
+	recordsLogged  atomic.Uint64
+	walBytes       atomic.Int64
+	snapshots      atomic.Uint64
+	lastSnapSeq    atomic.Uint64
+	lastSnapUnixMs atomic.Int64
+}
+
+// LogE durably logs a first-dataset batch (engine.Persister).
+func (s *Store) LogE(recs []slim.Record) error { return s.log(TagE, recs) }
+
+// LogI durably logs a second-dataset batch (engine.Persister).
+func (s *Store) LogI(recs []slim.Record) error { return s.log(TagI, recs) }
+
+// log appends one batch frame and blocks until it is durable per the
+// fsync policy. Records are quantized in place to the codec's fixed
+// point first, so the engine's live state is bit-identical to what a
+// crash recovery would rebuild.
+//
+// The in-memory buffers and nextSeq advance before the group-commit
+// wait: under fsync-interval > 0 a failed batched fsync therefore
+// leaves the store holding a batch the engine rejected. That divergence
+// can never reach disk — a failed fsync poisons the WAL (sticky ioErr),
+// so every later Append and Checkpoint/Rotate fails and the store is
+// effectively dead until restart. Whether the nacked frame survives in
+// the OS page cache and replays after restart is the inherent ambiguity
+// of a failed fsync; replaying it is the safe side (at-least-once).
+func (s *Store) log(tag byte, recs []slim.Record) error {
+	for i := range recs {
+		recs[i] = QuantizeRecord(recs[i])
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	payload := appendBatch(nil, Batch{Seq: s.nextSeq, Tag: tag, Recs: recs})
+	wait, err := s.wal.Append(payload)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.nextSeq++
+	if tag == TagE {
+		s.streamE = append(s.streamE, recs...)
+	} else {
+		s.streamI = append(s.streamI, recs...)
+	}
+	s.bytesSinceSnap += int64(len(payload)) + frameHeaderLen
+	s.mu.Unlock()
+
+	s.batchesLogged.Add(1)
+	s.recordsLogged.Add(uint64(len(recs)))
+	s.walBytes.Add(int64(len(payload)) + frameHeaderLen)
+	return wait()
+}
+
+// AfterRun captures the published result and auto-checkpoints when the
+// relink-count or WAL-growth trigger fires (engine.Persister).
+func (s *Store) AfterRun(res slim.Result, version uint64) {
+	s.mu.Lock()
+	s.lastResult = &resultData{
+		links:        res.Links,
+		threshold:    res.Threshold,
+		method:       res.ThresholdMethod,
+		spatialLevel: res.SpatialLevel,
+		version:      version,
+	}
+	s.runsSinceSnap++
+	need := false
+	if every := s.opts.snapshotEveryRuns(); every > 0 && s.runsSinceSnap >= every {
+		need = true
+	}
+	if maxBytes := s.opts.snapshotBytes(); maxBytes > 0 && s.bytesSinceSnap >= maxBytes {
+		need = true
+	}
+	s.mu.Unlock()
+	if !need {
+		return
+	}
+	// Checkpoint asynchronously: AfterRun is called from Engine.Run under
+	// its run lock, and a full-state snapshot write must not stall the
+	// relink publish path. At most one auto-checkpoint runs at a time;
+	// growth during it stays counted (Checkpoint retires only what it
+	// captured), so the next relink re-triggers if needed. Store.Close's
+	// final checkpoint serializes behind an in-flight one via snapMu.
+	if !s.autoCP.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.autoCP.Store(false)
+		if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) && s.opts.Logger != nil {
+			s.opts.Logger.Printf("storage: auto checkpoint failed: %v", err)
+		}
+	}()
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	Path            string
+	LastSeq         uint64
+	SeedRecords     int
+	StreamedRecords int
+}
+
+// Checkpoint writes a snapshot of the current state and truncates WAL
+// segments it covers. Safe for concurrent use; checkpoints serialize.
+func (s *Store) Checkpoint() (CheckpointInfo, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CheckpointInfo{}, ErrClosed
+	}
+	d := &snapshotData{
+		lastSeq: s.nextSeq - 1,
+		seedE:   s.seedE,
+		seedI:   s.seedI,
+		streamE: append([]slim.Record(nil), s.streamE...),
+		streamI: append([]slim.Record(nil), s.streamI...),
+		result:  s.lastResult,
+	}
+	// Rotate so every covered frame lives in a segment below keepIdx;
+	// rotation is atomic with the state capture (both under mu), so the
+	// new segment holds only batches the snapshot does not cover.
+	keepIdx, err := s.wal.Rotate()
+	if err != nil {
+		s.mu.Unlock()
+		return CheckpointInfo{}, err
+	}
+	coveredRuns, coveredBytes := s.runsSinceSnap, s.bytesSinceSnap
+	s.mu.Unlock()
+
+	path, err := writeSnapshot(s.dir, d)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	// Retire the covered trigger amounts only now that the snapshot is
+	// durable: a failed attempt keeps them armed so the next relink
+	// retries instead of waiting out another full trigger window, and
+	// anything logged while the snapshot was being written still counts
+	// toward the next one.
+	s.mu.Lock()
+	s.runsSinceSnap -= coveredRuns
+	s.bytesSinceSnap -= coveredBytes
+	s.mu.Unlock()
+	// Truncate history only after the covering snapshot is durable.
+	if err := removeSnapshotsBefore(s.dir, d.lastSeq); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if err := removeSegmentsBefore(s.dir, keepIdx); err != nil {
+		return CheckpointInfo{}, err
+	}
+	s.snapshots.Add(1)
+	s.lastSnapSeq.Store(d.lastSeq)
+	s.lastSnapUnixMs.Store(time.Now().UnixMilli())
+	return CheckpointInfo{
+		Path:            path,
+		LastSeq:         d.lastSeq,
+		SeedRecords:     len(d.seedE.Records) + len(d.seedI.Records),
+		StreamedRecords: len(d.streamE) + len(d.streamI),
+	}, nil
+}
+
+// Stats is a point-in-time snapshot of the storage layer's state.
+type Stats struct {
+	Dir string
+	// FsyncIntervalMs reflects the WAL durability policy (see Options).
+	FsyncIntervalMs float64
+	// BatchesLogged / RecordsLogged / WALBytesAppended count WAL appends
+	// since this process opened the directory.
+	BatchesLogged    uint64
+	RecordsLogged    uint64
+	WALBytesAppended int64
+	// WALSegments / WALDiskBytes describe the on-disk log right now.
+	WALSegments  int
+	WALDiskBytes int64
+	// Snapshots counts checkpoints completed by this process;
+	// LastSnapshotSeq / LastSnapshotUnixMs describe the newest one.
+	Snapshots          uint64
+	LastSnapshotSeq    uint64
+	LastSnapshotUnixMs int64
+	// NextSeq is the sequence number the next logged batch will carry.
+	NextSeq uint64
+}
+
+// Stats reports storage counters plus a directory scan of live segments.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Dir:                s.dir,
+		FsyncIntervalMs:    float64(s.opts.FsyncInterval.Microseconds()) / 1000,
+		BatchesLogged:      s.batchesLogged.Load(),
+		RecordsLogged:      s.recordsLogged.Load(),
+		WALBytesAppended:   s.walBytes.Load(),
+		Snapshots:          s.snapshots.Load(),
+		LastSnapshotSeq:    s.lastSnapSeq.Load(),
+		LastSnapshotUnixMs: s.lastSnapUnixMs.Load(),
+	}
+	s.mu.Lock()
+	st.NextSeq = s.nextSeq
+	s.mu.Unlock()
+	if segs, err := listSegments(s.dir); err == nil {
+		st.WALSegments = len(segs)
+		for _, seg := range segs {
+			if fi, err := os.Stat(seg.path); err == nil {
+				st.WALDiskBytes += fi.Size()
+			}
+		}
+	}
+	return st
+}
+
+// Close takes a final checkpoint (so a clean restart replays nothing)
+// and seals the WAL. Idempotent.
+func (s *Store) Close() error {
+	_, cpErr := s.Checkpoint()
+	if errors.Is(cpErr, ErrClosed) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return cpErr
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.wal.Close()
+	if cpErr != nil {
+		return cpErr
+	}
+	return err
+}
+
+// crashClose abandons the store without a final checkpoint — test
+// helper simulating a crash (the WAL file is closed so tests on
+// platforms with mandatory locks can truncate it, but no snapshot is
+// taken and no segment is truncated).
+func (s *Store) crashClose() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.wal.Close()
+}

@@ -1,0 +1,388 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSegmentBytes is the WAL segment rotation size (16 MiB).
+const DefaultSegmentBytes = 16 << 20
+
+// DefaultFsyncInterval is the default group-commit window: appends
+// block until the next batched fsync, at most this long after the write.
+const DefaultFsyncInterval = 2 * time.Millisecond
+
+// Fsync policy, selected by the FsyncInterval option:
+//
+//	interval == 0   fsync inline on every append (strongest, slowest)
+//	interval > 0    group commit: appends return once a batched fsync
+//	                covering their write completes (at most one interval
+//	                of added latency; many appends share one fsync)
+//	interval < 0    never fsync (OS page cache only; survives process
+//	                crashes but not host crashes — benchmarks and tests)
+
+// ErrClosed is returned by operations on a closed WAL or Store.
+var ErrClosed = errors.New("storage: closed")
+
+const segPrefix, segSuffix = "wal-", ".seg"
+
+func segName(index uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, index, segSuffix)
+}
+
+// wal is an append-only segmented log of CRC-framed payloads. Appends
+// are written in call order; durability is governed by the fsync policy
+// above. A wal never reopens old segments: each process generation
+// starts a fresh segment, so a torn tail from a crash is always at the
+// end of a dead segment.
+type wal struct {
+	dir      string
+	segBytes int64
+	interval time.Duration
+
+	mu         sync.Mutex
+	f          *os.File
+	segIndex   uint64
+	segWritten int64
+	ioErr      error         // sticky: first write/sync failure poisons the log
+	gen        chan struct{} // closed when all bytes written so far are durable
+	closed     bool
+
+	wantSync   chan struct{}
+	stop       chan struct{}
+	syncerDone chan struct{}
+}
+
+// openWAL starts a fresh segment with the given index and, for group
+// commit, the background syncer.
+func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration) (*wal, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	w := &wal{
+		dir:        dir,
+		segBytes:   segBytes,
+		interval:   interval,
+		segIndex:   segIndex,
+		gen:        make(chan struct{}),
+		wantSync:   make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		syncerDone: make(chan struct{}),
+	}
+	if err := w.openSegment(segIndex); err != nil {
+		return nil, err
+	}
+	if interval > 0 {
+		go w.syncer()
+	} else {
+		close(w.syncerDone)
+	}
+	return w, nil
+}
+
+// openSegment creates the segment file and syncs the directory entry so
+// the segment itself survives a crash. Callers hold mu (or own w).
+func (w *wal) openSegment(index uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(index)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.segIndex = index
+	w.segWritten = 0
+	return syncDir(w.dir)
+}
+
+// Append writes one framed payload. The returned wait function blocks
+// until the payload is durable per the fsync policy (a no-op for the
+// inline and never policies) and reports any sticky I/O error.
+func (w *wal) Append(payload []byte) (wait func() error, err error) {
+	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if w.ioErr != nil {
+		err := w.ioErr
+		w.mu.Unlock()
+		return nil, err
+	}
+	if w.segWritten >= w.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.ioErr = err
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.segWritten += int64(len(frame))
+
+	if w.interval == 0 { // fsync inline
+		if err := w.f.Sync(); err != nil {
+			w.ioErr = err
+			w.mu.Unlock()
+			return nil, err
+		}
+		w.mu.Unlock()
+		return noWait, nil
+	}
+	if w.interval < 0 { // never fsync
+		w.mu.Unlock()
+		return noWait, nil
+	}
+	// Group commit: wait for the generation covering this write.
+	ch := w.gen
+	w.mu.Unlock()
+	select {
+	case w.wantSync <- struct{}{}:
+	default:
+	}
+	return func() error {
+		<-ch
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.ioErr
+	}, nil
+}
+
+func noWait() error { return nil }
+
+// syncer batches fsyncs: after a nudge it sleeps one interval (letting
+// concurrent appends pile onto the same fsync), then syncs and releases
+// the covered waiters.
+func (w *wal) syncer() {
+	defer close(w.syncerDone)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.wantSync:
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(w.interval):
+		}
+		w.syncNow()
+	}
+}
+
+// syncNow fsyncs the active segment and releases the current generation
+// of group-commit waiters. Once the log is closed it does nothing:
+// Close owns the final fsync and the last waiter release, so a waiter
+// can never be released without its covering fsync having been
+// attempted (and any failure recorded in ioErr).
+func (w *wal) syncNow() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	if w.ioErr == nil && w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.ioErr = err
+		}
+	}
+	ch := w.gen
+	w.gen = make(chan struct{})
+	w.mu.Unlock()
+	close(ch)
+}
+
+// rotateLocked seals the active segment (fsync + close, so rotation is
+// always a durability point) and opens the next one. Callers hold mu.
+func (w *wal) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.ioErr = err
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.ioErr = err
+		return err
+	}
+	if err := w.openSegment(w.segIndex + 1); err != nil {
+		w.ioErr = err
+		return err
+	}
+	// Everything before the rotation is durable: release waiters.
+	ch := w.gen
+	w.gen = make(chan struct{})
+	close(ch)
+	return nil
+}
+
+// Rotate seals the active segment and returns the new segment's index:
+// every payload appended before the call lives in a segment with a
+// smaller index (the snapshot truncation boundary).
+func (w *wal) Rotate() (newIndex uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.ioErr != nil {
+		return 0, w.ioErr
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.segIndex, nil
+}
+
+// Close seals the log: stops the syncer, fsyncs and closes the active
+// segment, and releases any waiters.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	close(w.stop)
+	<-w.syncerDone
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if w.ioErr == nil {
+			// Record a failed final fsync in ioErr BEFORE releasing the
+			// waiters below: group-commit callers still blocked in wait()
+			// must see the failure, not a silent success.
+			if err := w.f.Sync(); err != nil {
+				w.ioErr = err
+			}
+		}
+		if cerr := w.f.Close(); cerr != nil && w.ioErr == nil {
+			w.ioErr = cerr
+		}
+		w.f = nil
+	}
+	ch := w.gen
+	w.gen = make(chan struct{})
+	close(ch)
+	return w.ioErr
+}
+
+// segmentFile is one WAL segment found on disk.
+type segmentFile struct {
+	index uint64
+	path  string
+}
+
+// listSegments returns the data directory's WAL segments in index order.
+func listSegments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segmentFile{index: idx, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// replayWAL scans every segment in order and calls fn for each decoded
+// batch with Seq > fromSeq. A torn frame ends a segment's replay (the
+// expected crash artifact — appends are sequential, so nothing committed
+// can follow it within that segment); replay continues with the next
+// segment, which a healthy process only starts after a clean rotation.
+// Decoded sequence numbers must be strictly increasing; a violation
+// means real corruption and fails the replay.
+func replayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64, batches int, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	lastSeq = fromSeq
+	sawAny := false
+	for _, seg := range segs {
+		buf, err := os.ReadFile(seg.path)
+		if err != nil {
+			return lastSeq, batches, err
+		}
+		for len(buf) > 0 {
+			payload, rest, err := nextFrame(buf)
+			if err != nil {
+				// Torn tail: stop this segment, continue with the next.
+				break
+			}
+			buf = rest
+			b, err := decodeBatch(payload)
+			if err != nil {
+				return lastSeq, batches, fmt.Errorf("%s: %w", seg.path, err)
+			}
+			if sawAny && b.Seq <= lastSeq {
+				return lastSeq, batches, fmt.Errorf("%s: %w: sequence %d after %d",
+					seg.path, errCorrupt, b.Seq, lastSeq)
+			}
+			if b.Seq <= fromSeq && !sawAny {
+				// Covered by the snapshot; skip.
+				continue
+			}
+			sawAny = true
+			lastSeq = b.Seq
+			if fn != nil {
+				if err := fn(b); err != nil {
+					return lastSeq, batches, err
+				}
+			}
+			batches++
+		}
+	}
+	return lastSeq, batches, nil
+}
+
+// removeSegmentsBefore deletes every segment with index < keepIndex —
+// the snapshot truncation step, called only after the covering snapshot
+// is durably on disk.
+func removeSegmentsBefore(dir string, keepIndex uint64) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg.index >= keepIndex {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return err
+		}
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so file creations/renames/removals within
+// it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
