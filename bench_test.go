@@ -345,6 +345,25 @@ func BenchmarkLinkerScorePair(b *testing.B) {
 	}
 }
 
+// BenchmarkRunEdgesLSH measures repeated edge scoring over a prepared
+// linker with the LSH filter enabled — the hot loop of a relinking service
+// shard (no matching/thresholding, no history builds).
+func BenchmarkRunEdgesLSH(b *testing.B) {
+	w := benchWorkload(b, 24)
+	cfg := slim.Defaults()
+	cfg.LSH = &slim.LSHConfig{Threshold: 0.2, StepWindows: 48, SpatialLevel: 12, NumBuckets: 1 << 14}
+	lk, err := slim.NewLinker(w.E, w.I, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk.RunEdges() // warm caches and compiled state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = lk.RunEdges()
+	}
+}
+
 // BenchmarkAutoTune measures the spatial-level elbow probe.
 func BenchmarkAutoTune(b *testing.B) {
 	w := benchWorkload(b, 20)

@@ -234,6 +234,24 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	// Compile every shard's scoring read path now, while construction is
+	// already parallel, so the first relink starts scoring immediately.
+	// The global E entity count must be pinned first: the first rescore
+	// passes it to SetTotalEntitiesE, and pinning it after compiling would
+	// move the IDF epoch and throw all of this work away.
+	totalE := 0
+	for _, sh := range e.shards {
+		totalE += len(sh.lk.EntitiesE())
+	}
+	for _, sh := range e.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.lk.SetTotalEntitiesE(totalE)
+			sh.lk.Precompile()
+		}(sh)
+	}
+	wg.Wait()
 	return e, nil
 }
 

@@ -13,7 +13,7 @@ package history
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"slim/internal/geo"
@@ -35,6 +35,10 @@ type History struct {
 	windows []int64 // sorted leaf window indices
 	numBins int
 	numRecs int
+
+	// version counts mutations of this history; the compiled read path
+	// (compiled.go) uses it to detect stale per-entity views.
+	version uint64
 
 	// Lazily-built dyadic aggregation levels; levels[0] aliases leaves.
 	// Guarded by mu so concurrent scorers can share one History.
@@ -76,7 +80,7 @@ func newHistory(entity model.EntityID, recs []model.Record, w model.Windowing, l
 	for win := range h.leaves {
 		h.windows = append(h.windows, win)
 	}
-	sort.Slice(h.windows, func(i, j int) bool { return h.windows[i] < h.windows[j] })
+	slices.Sort(h.windows)
 	return h
 }
 
@@ -104,7 +108,7 @@ func (h *History) Bins(fn func(Bin, float64)) {
 		for c := range cells {
 			ids = append(ids, c)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		for _, c := range ids {
 			fn(Bin{Window: win, Cell: c}, cells[c])
 		}
@@ -256,6 +260,20 @@ type Store struct {
 	// idfTotal, when positive, overrides the |U| numerator of the IDF for
 	// stores holding one partition of a larger logical dataset.
 	idfTotal int
+
+	// epoch versions the dataset-level IDF inputs (entity count, bin
+	// frequencies, idfTotal). Any change invalidates every compiled view,
+	// because the IDF weights baked into them may have shifted; see
+	// compiled.go.
+	epoch uint64
+
+	// Compiled read path: per-entity flat views plus the dense cell-id
+	// interner shared by all of them. compMu lets concurrent scorers take
+	// the read path while lazy recompiles serialize on the write side.
+	compMu    sync.RWMutex
+	compiled  map[model.EntityID]*Compiled
+	cellIndex map[geo.CellID]int32
+	cellIDs   []geo.CellID
 }
 
 // Build constructs the histories of every entity of the dataset at the
@@ -267,13 +285,15 @@ func Build(d *model.Dataset, w model.Windowing, spatialLevel int) *Store {
 		Level:       spatialLevel,
 		histories:   make(map[model.EntityID]*History),
 		binEntities: make(map[Bin]int32),
+		compiled:    make(map[model.EntityID]*Compiled),
+		cellIndex:   make(map[geo.CellID]int32),
 	}
 	byEntity := d.ByEntity()
 	s.entities = make([]model.EntityID, 0, len(byEntity))
 	for e := range byEntity {
 		s.entities = append(s.entities, e)
 	}
-	sort.Slice(s.entities, func(i, j int) bool { return s.entities[i] < s.entities[j] })
+	slices.Sort(s.entities)
 
 	first := true
 	for _, e := range s.entities {
@@ -328,7 +348,13 @@ func (s *Store) WindowRange() (minWin, maxWin int64, ok bool) {
 // numerator reflects the whole dataset, so a shard with few entities does
 // not degenerate to zero IDF weights. n <= the local entity count restores
 // purely local statistics.
-func (s *Store) SetIDFTotalEntities(n int) { s.idfTotal = n }
+func (s *Store) SetIDFTotalEntities(n int) {
+	if s.idfTotal == n {
+		return
+	}
+	s.idfTotal = n
+	s.epoch++
+}
 
 // IDF returns the inverse-document-frequency weight of a time-location bin
 // (Eq. 3): log(|U| / |{u : bin ∈ H_u}|). Bins absent from the dataset get

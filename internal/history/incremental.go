@@ -23,8 +23,10 @@ func (s *Store) Add(rec model.Record) {
 		h = &History{Entity: rec.Entity, leaves: make(map[int64]map[geo.CellID]float64)}
 		s.histories[rec.Entity] = h
 		s.insertEntity(rec.Entity)
+		s.epoch++ // |U| changed: every baked IDF weight is stale
 	}
 	prevBins := h.numBins
+	h.version++ // invalidate this entity's compiled view
 
 	win := s.Windowing.Window(rec.Unix)
 	newWindow := h.leaves[win] == nil
@@ -42,6 +44,7 @@ func (s *Store) Add(rec model.Record) {
 		if cells[cell] == 0 {
 			h.numBins++
 			s.binEntities[Bin{Window: win, Cell: cell}]++
+			s.epoch++ // bin frequency changed: baked IDF weights are stale
 		}
 		cells[cell] += weight
 	}

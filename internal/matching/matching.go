@@ -6,7 +6,7 @@ package matching
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"slim/internal/model"
 )
@@ -26,14 +26,26 @@ type Edge struct {
 // weight.
 func Greedy(edges []Edge) []Edge {
 	sorted := append([]Edge(nil), edges...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].W != sorted[j].W {
-			return sorted[i].W > sorted[j].W
+	slices.SortFunc(sorted, func(a, b Edge) int {
+		if a.W != b.W {
+			if a.W > b.W {
+				return -1
+			}
+			return 1
 		}
-		if sorted[i].U != sorted[j].U {
-			return sorted[i].U < sorted[j].U
+		if a.U != b.U {
+			if a.U < b.U {
+				return -1
+			}
+			return 1
 		}
-		return sorted[i].V < sorted[j].V
+		if a.V < b.V {
+			return -1
+		}
+		if a.V > b.V {
+			return 1
+		}
+		return 0
 	})
 	usedU := make(map[model.EntityID]bool)
 	usedV := make(map[model.EntityID]bool)
@@ -147,7 +159,15 @@ func Hungarian(edges []Edge) []Edge {
 			out = append(out, Edge{U: uIDs[i], V: vIDs[j], W: w})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].W > out[b].W })
+	slices.SortFunc(out, func(a, b Edge) int {
+		switch {
+		case a.W > b.W:
+			return -1
+		case a.W < b.W:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 
@@ -164,8 +184,8 @@ func collectIDs(edges []Edge) (us, vs []model.EntityID) {
 	for id := range sv {
 		vs = append(vs, id)
 	}
-	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(us)
+	slices.Sort(vs)
 	return us, vs
 }
 

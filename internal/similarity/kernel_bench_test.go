@@ -1,0 +1,38 @@
+package similarity
+
+import (
+	"testing"
+
+	"slim/internal/geo"
+	"slim/internal/model"
+)
+
+// warmWorkloadStores builds two single-entity stores whose histories span
+// many windows with a handful of cells each — the shape of a production
+// pair — for the warm-scoring benchmarks.
+func warmWorkloadStores(tb testing.TB) (*Scorer, model.EntityID, model.EntityID) {
+	tb.Helper()
+	var eRecs, iRecs []model.Record
+	for k := 0; k < 500; k++ {
+		unix := int64(900 * k)
+		lat := 37.5 + float64(k%20)*0.01
+		lng := -122.5 + float64(k%17)*0.01
+		eRecs = append(eRecs, rec("u", geo.LatLng{Lat: lat, Lng: lng}, unix))
+		iRecs = append(iRecs, rec("v", geo.LatLng{Lat: lat + 0.001, Lng: lng}, unix+60))
+	}
+	e, i := stores(12, eRecs, iRecs)
+	return NewScorer(e, i, defParams()), "u", "v"
+}
+
+// BenchmarkScoreWarm measures a steady-state Scorer.Score call: caches and
+// scratch state warmed by a first scoring pass. This is the repo's
+// pair-scoring throughput headline (allocs/op must stay at 0).
+func BenchmarkScoreWarm(b *testing.B) {
+	s, u, v := warmWorkloadStores(b)
+	_ = s.Score(u, v) // warm distance caches / compiled state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_ = s.Score(u, v)
+	}
+}

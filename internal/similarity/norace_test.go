@@ -1,0 +1,5 @@
+//go:build !race
+
+package similarity
+
+const raceEnabled = false

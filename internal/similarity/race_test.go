@@ -1,0 +1,8 @@
+//go:build race
+
+package similarity
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates inside otherwise
+// allocation-free code paths.
+const raceEnabled = true

@@ -8,11 +8,19 @@
 // The scorer also exposes the ablation switches exercised by the paper's
 // Sec. 5.4 study: all-pairs pairing instead of MNN, disabling the optional
 // MFN pass, disabling IDF, and disabling normalization.
+//
+// Scoring runs on the compiled read path of internal/history: flat
+// per-window cell/weight/IDF arrays instead of the build-time maps, with
+// all per-call state held in pooled per-goroutine scratch buffers. A warm
+// Score call performs zero heap allocations (enforced by
+// TestScoreWarmZeroAllocs) while producing bit-identical scores to the
+// original map-walking implementation (enforced by the compiled-vs-map
+// parity tests).
 package similarity
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -96,7 +104,7 @@ func Proximity(distKm, runawayKm, minLogArg float64) float64 {
 
 // Stats accumulates the work counters the paper's evaluation reports.
 // Counters are updated atomically, so one Scorer can be shared by many
-// goroutines.
+// goroutines; each Score call batches its counters into a single flush.
 type Stats struct {
 	// BinComparisons counts time-location bin pair distance evaluations.
 	BinComparisons int64
@@ -116,24 +124,69 @@ type Scorer struct {
 	Par   Params
 	stats Stats
 
-	// Distance cache shared across goroutines, sharded to limit contention.
-	shards [distShards]distShard
+	// pool holds per-goroutine scratch state (distance matrix, argsort
+	// order, pairing masks, distance cache) so warm Score calls allocate
+	// nothing and share no locks.
+	pool sync.Pool
 }
 
-const distShards = 64
+// scratch is the per-goroutine working state of one scoring call. Buffers
+// grow to the largest window pair seen and are reused; dcache memoizes
+// cell-pair distances keyed by the stores' dense interned cell indices
+// (E-side index in the high half, I-side in the low half), so it stays
+// valid across pairs and recompiles — interned indices are never reused.
+type scratch struct {
+	dist   []float64
+	order  []int32
+	usedU  []bool
+	usedV  []bool
+	sel    []bool // all-false between windows; reset via selIDs
+	selIDs []int32
+	dcache map[uint64]float64
 
-type distShard struct {
-	mu sync.RWMutex
-	m  map[[2]geo.CellID]float64
+	// Batched stat counters, flushed once per scored pair.
+	binCmp, recCmp, alibi int64
+}
+
+func (sc *scratch) floats(n int) []float64 {
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+	}
+	return sc.dist[:n]
+}
+
+func (sc *scratch) ints(n int) []int32 {
+	if cap(sc.order) < n {
+		sc.order = make([]int32, n)
+	}
+	return sc.order[:n]
+}
+
+// selMask returns the selected-pair mask without clearing: the mask is
+// kept all-false between windows by resetting exactly the entries set
+// (selIDs), and fresh allocations are zeroed.
+func (sc *scratch) selMask(n int) []bool {
+	if cap(sc.sel) < n {
+		sc.sel = make([]bool, n)
+	}
+	return sc.sel[:n]
+}
+
+func grownBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+		return *buf
+	}
+	b := (*buf)[:n]
+	clear(b)
+	return b
 }
 
 // NewScorer builds a scorer over the two stores. The stores may be the same
 // object (used for the self-similarity queries of the auto-tuner).
 func NewScorer(e, i *history.Store, p Params) *Scorer {
 	s := &Scorer{E: e, I: i, Par: p}
-	for k := range s.shards {
-		s.shards[k].m = make(map[[2]geo.CellID]float64)
-	}
+	s.pool.New = func() any { return &scratch{dcache: make(map[uint64]float64)} }
 	return s
 }
 
@@ -147,38 +200,32 @@ func (s *Scorer) Stats() Stats {
 	}
 }
 
-// cellDistance returns the (cached) minimum distance between two cells.
-func (s *Scorer) cellDistance(a, b geo.CellID) float64 {
-	if a == b {
-		return 0
+// flush publishes a scored pair's batched counters with one atomic add per
+// touched counter instead of one per bin pair.
+func (s *Scorer) flush(sc *scratch) {
+	atomic.AddInt64(&s.stats.PairsScored, 1)
+	if sc.binCmp != 0 {
+		atomic.AddInt64(&s.stats.BinComparisons, sc.binCmp)
+		sc.binCmp = 0
 	}
-	key := [2]geo.CellID{a, b}
-	if b < a {
-		key[0], key[1] = b, a
+	if sc.recCmp != 0 {
+		atomic.AddInt64(&s.stats.RecordComparisons, sc.recCmp)
+		sc.recCmp = 0
 	}
-	shard := &s.shards[(uint64(key[0])^uint64(key[1]))%distShards]
-	shard.mu.RLock()
-	d, ok := shard.m[key]
-	shard.mu.RUnlock()
-	if ok {
-		return d
+	if sc.alibi != 0 {
+		atomic.AddInt64(&s.stats.AlibiBinPairs, sc.alibi)
+		sc.alibi = 0
 	}
-	d = geo.CellDistanceKm(key[0], key[1])
-	shard.mu.Lock()
-	shard.m[key] = d
-	shard.mu.Unlock()
-	return d
 }
 
 // Score computes S(u, v) per Eq. 2 / Alg. 1 for u in store E and v in
 // store I. Unknown entities score 0.
 func (s *Scorer) Score(u, v model.EntityID) float64 {
-	hu := s.E.History(u)
-	hv := s.I.History(v)
-	if hu == nil || hv == nil {
+	cu, idsU := s.E.CompiledView(u)
+	cv, idsV := s.I.CompiledView(v)
+	if cu == nil || cv == nil {
 		return 0
 	}
-	atomic.AddInt64(&s.stats.PairsScored, 1)
 
 	lu, lv := 1.0, 1.0
 	if s.Par.UseNorm {
@@ -190,61 +237,118 @@ func (s *Scorer) Score(u, v model.EntityID) float64 {
 		norm = 1
 	}
 
+	sc := s.pool.Get().(*scratch)
 	var total float64
-	forEachCommonWindow(hu.Windows(), hv.Windows(), func(w int64) {
-		total += s.scoreWindow(hu, hv, w, norm)
-	})
+	wu, wv := cu.Windows, cv.Windows
+	for i, j := 0, 0; i < len(wu) && j < len(wv); {
+		switch {
+		case wu[i] < wv[j]:
+			i++
+		case wu[i] > wv[j]:
+			j++
+		default:
+			total += s.scoreWindow(sc, cu, cv, i, j, idsU, idsV, norm)
+			i++
+			j++
+		}
+	}
+	s.flush(sc)
+	s.pool.Put(sc)
 	return total
 }
 
-// scoreWindow computes the contribution of one common temporal window.
-func (s *Scorer) scoreWindow(hu, hv *history.History, w int64, norm float64) float64 {
-	cellsU := sortedCells(hu.CellsAt(w))
-	cellsV := sortedCells(hv.CellsAt(w))
-	if len(cellsU) == 0 || len(cellsV) == 0 {
-		return 0
-	}
-
-	// Work accounting: every cross bin pair gets a distance evaluation,
-	// and each corresponds to countU×countV record comparisons. Weights
-	// are fractional for region records, so accumulate before rounding.
-	atomic.AddInt64(&s.stats.BinComparisons, int64(len(cellsU)*len(cellsV)))
-	var recsU, recsV float64
-	for _, c := range cellsU {
-		recsU += hu.CellsAt(w)[c]
-	}
-	for _, c := range cellsV {
-		recsV += hv.CellsAt(w)[c]
-	}
-	atomic.AddInt64(&s.stats.RecordComparisons, int64(recsU*recsV+0.5))
-
-	dist := make([][]float64, len(cellsU))
-	for i, cu := range cellsU {
-		dist[i] = make([]float64, len(cellsV))
-		for j, cv := range cellsV {
-			dist[i][j] = s.cellDistance(cu, cv)
+// fillDistances writes the nU×nV cell-distance matrix for one window pair
+// into dist (row-major over the V side), memoizing through the scratch
+// cache keyed by dense interned cell indices.
+func (s *Scorer) fillDistances(sc *scratch, dist []float64, cellsU, cellsV []int32, idsU, idsV []geo.CellID) {
+	nV := len(cellsV)
+	for i, ci := range cellsU {
+		a := idsU[ci]
+		row := dist[i*nV : (i+1)*nV]
+		for j, cj := range cellsV {
+			b := idsV[cj]
+			if a == b {
+				row[j] = 0
+				continue
+			}
+			key := uint64(uint32(ci))<<32 | uint64(uint32(cj))
+			d, ok := sc.dcache[key]
+			if !ok {
+				// Canonical argument order: CellDistanceKm subtracts both
+				// circumradii, which is not bit-symmetric in its arguments.
+				if b < a {
+					d = geo.CellDistanceKm(b, a)
+				} else {
+					d = geo.CellDistanceKm(a, b)
+				}
+				sc.dcache[key] = d
+			}
+			row[j] = d
 		}
 	}
+}
 
-	binDelta := func(i, j int) float64 {
-		p := Proximity(dist[i][j], s.Par.RunawayKm, s.Par.MinLogArg)
+// sortPairOrder argsorts the flat bin-pair ids by (distance, id). Pair ids
+// are i*nV+j, so the id tiebreak is exactly the (i, j) index order of the
+// map-based implementation, keeping scores deterministic; distances are
+// unique-keyed, so any correct sort yields the identical order.
+func sortPairOrder(order []int32, dist []float64) {
+	for k := range order {
+		order[k] = int32(k)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		dx, dy := dist[x], dist[y]
+		switch {
+		case dx < dy:
+			return -1
+		case dx > dy:
+			return 1
+		}
+		return int(x) - int(y)
+	})
+}
+
+// scoreWindow computes the contribution of the common temporal window at
+// index ku of cu and kv of cv.
+func (s *Scorer) scoreWindow(sc *scratch, cu, cv *history.Compiled, ku, kv int, idsU, idsV []geo.CellID, norm float64) float64 {
+	loU, hiU := cu.Off[ku], cu.Off[ku+1]
+	loV, hiV := cv.Off[kv], cv.Off[kv+1]
+	nU, nV := int(hiU-loU), int(hiV-loV)
+	if nU == 0 || nV == 0 {
+		return 0
+	}
+	cellsU, cellsV := cu.Cells[loU:hiU], cv.Cells[loV:hiV]
+	idfU, idfV := cu.IDF[loU:hiU], cv.IDF[loV:hiV]
+
+	// Work accounting: every cross bin pair gets a distance evaluation,
+	// and each corresponds to countU×countV record comparisons. The
+	// per-window record sums were accumulated at compile time in the same
+	// (sorted-cell) order the map scorer used, so the rounded product is
+	// bit-identical.
+	sc.binCmp += int64(nU * nV)
+	sc.recCmp += int64(cu.WinRecs[ku]*cv.WinRecs[kv] + 0.5)
+
+	n := nU * nV
+	dist := sc.floats(n)
+	s.fillDistances(sc, dist, cellsU, cellsV, idsU, idsV)
+
+	delta := func(i, j int) float64 {
+		p := Proximity(dist[i*nV+j], s.Par.RunawayKm, s.Par.MinLogArg)
 		if p < 0 {
-			atomic.AddInt64(&s.stats.AlibiBinPairs, 1)
+			sc.alibi++
 		}
 		weight := 1.0
 		if s.Par.UseIDF {
-			idfU := s.E.IDF(history.Bin{Window: w, Cell: cellsU[i]})
-			idfV := s.I.IDF(history.Bin{Window: w, Cell: cellsV[j]})
-			weight = math.Min(idfU, idfV)
+			weight = math.Min(idfU[i], idfV[j])
 		}
 		return p * weight / norm
 	}
 
 	if s.Par.Pairing == PairingAllPairs {
 		var sum float64
-		for i := range cellsU {
-			for j := range cellsV {
-				sum += binDelta(i, j)
+		for i := 0; i < nU; i++ {
+			for j := 0; j < nV; j++ {
+				sum += delta(i, j)
 			}
 		}
 		return sum
@@ -252,49 +356,40 @@ func (s *Scorer) scoreWindow(hu, hv *history.History, w int64, norm float64) flo
 
 	// Mutually-nearest-neighbor pairing N_w (Sec. 3.1.2): repeatedly select
 	// the globally closest unused pair until the smaller side is
-	// exhausted. Implemented as one sort of all cross pairs followed by a
-	// greedy sweep — identical selection, O(nm log nm) instead of
-	// O(min(n,m)·n·m). Ties break on (i, j) index order, which is cell-id
-	// order, keeping scores deterministic.
-	nPairs := len(cellsU)
-	if len(cellsV) < nPairs {
-		nPairs = len(cellsV)
-	}
-	type cand struct{ i, j int }
-	order := make([]cand, 0, len(cellsU)*len(cellsV))
-	for i := range cellsU {
-		for j := range cellsV {
-			order = append(order, cand{i, j})
-		}
-	}
-	less := func(a, b cand) bool {
-		if dist[a.i][a.j] != dist[b.i][b.j] {
-			return dist[a.i][a.j] < dist[b.i][b.j]
-		}
-		if a.i != b.i {
-			return a.i < b.i
-		}
-		return a.j < b.j
-	}
-	sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+	// exhausted. Implemented as one argsort of all cross pairs followed by
+	// a greedy sweep — identical selection, O(nm log nm) instead of
+	// O(min(n,m)·n·m).
+	nPairs := min(nU, nV)
+	order := sc.ints(n)
+	sortPairOrder(order, dist)
 
-	usedU := make([]bool, len(cellsU))
-	usedV := make([]bool, len(cellsV))
-	selected := make(map[cand]bool, nPairs)
+	usedU := grownBools(&sc.usedU, nU)
+	usedV := grownBools(&sc.usedV, nV)
+	var sel []bool
+	selIDs := sc.selIDs[:0]
+	if s.Par.UseMFN {
+		sel = sc.selMask(n)
+	}
+
 	var sum float64
 	taken := 0
-	for _, c := range order {
+	for _, k := range order {
 		if taken == nPairs {
 			break
 		}
-		if usedU[c.i] || usedV[c.j] {
+		i, j := int(k)/nV, int(k)%nV
+		if usedU[i] || usedV[j] {
 			continue
 		}
-		usedU[c.i], usedV[c.j] = true, true
-		selected[c] = true
-		sum += binDelta(c.i, c.j)
+		usedU[i], usedV[j] = true, true
+		if sel != nil {
+			sel[k] = true
+			selIDs = append(selIDs, k)
+		}
+		sum += delta(i, j)
 		taken++
 	}
+	sc.selIDs = selIDs
 
 	if !s.Par.UseMFN {
 		return sum
@@ -303,26 +398,26 @@ func (s *Scorer) scoreWindow(hu, hv *history.History, w int64, norm float64) flo
 	// Mutually-furthest-neighbor pass N′_w: same sweep from the far end,
 	// adding only alibi (negative) deltas. Pairs already selected by MNN
 	// are skipped so an alibi is never double counted (Design decision 2).
-	for i := range usedU {
-		usedU[i] = false
-	}
-	for j := range usedV {
-		usedV[j] = false
-	}
+	clear(usedU)
+	clear(usedV)
 	taken = 0
-	for k := len(order) - 1; k >= 0 && taken < nPairs; k-- {
-		c := order[k]
-		if usedU[c.i] || usedV[c.j] {
+	for k := n - 1; k >= 0 && taken < nPairs; k-- {
+		id := order[k]
+		i, j := int(id)/nV, int(id)%nV
+		if usedU[i] || usedV[j] {
 			continue
 		}
-		usedU[c.i], usedV[c.j] = true, true
+		usedU[i], usedV[j] = true, true
 		taken++
-		if selected[c] {
+		if sel[id] {
 			continue
 		}
-		if delta := binDelta(c.i, c.j); delta < 0 {
-			sum += delta
+		if d := delta(i, j); d < 0 {
+			sum += d
 		}
+	}
+	for _, id := range selIDs {
+		sel[id] = false
 	}
 	return sum
 }
@@ -335,86 +430,72 @@ func (s *Scorer) scoreWindow(hu, hv *history.History, w int64, norm float64) flo
 // false when the pair shares no usable evidence (no common windows or all
 // IDF weights zero).
 func (s *Scorer) ProbeRatio(u, v model.EntityID) (ratio float64, ok bool) {
-	hu := s.E.History(u)
-	hv := s.I.History(v)
-	if hu == nil || hv == nil {
+	cu, idsU := s.E.CompiledView(u)
+	cv, idsV := s.I.CompiledView(v)
+	if cu == nil || cv == nil {
 		return 0, false
 	}
+	sc := s.pool.Get().(*scratch)
 	var num, den float64
-	forEachCommonWindow(hu.Windows(), hv.Windows(), func(w int64) {
-		cellsU := sortedCells(hu.CellsAt(w))
-		cellsV := sortedCells(hv.CellsAt(w))
-		if len(cellsU) == 0 || len(cellsV) == 0 {
-			return
+	wu, wv := cu.Windows, cv.Windows
+	for i, j := 0, 0; i < len(wu) && j < len(wv); {
+		switch {
+		case wu[i] < wv[j]:
+			i++
+		case wu[i] > wv[j]:
+			j++
+		default:
+			s.probeWindow(sc, cu, cv, i, j, idsU, idsV, &num, &den)
+			i++
+			j++
 		}
-		nPairs := len(cellsU)
-		if len(cellsV) < nPairs {
-			nPairs = len(cellsV)
-		}
-		type cand struct{ i, j int }
-		order := make([]cand, 0, len(cellsU)*len(cellsV))
-		dist := make([][]float64, len(cellsU))
-		for i, cu := range cellsU {
-			dist[i] = make([]float64, len(cellsV))
-			for j, cv := range cellsV {
-				dist[i][j] = s.cellDistance(cu, cv)
-				order = append(order, cand{i, j})
-			}
-		}
-		sort.Slice(order, func(a, b int) bool {
-			da, db := dist[order[a].i][order[a].j], dist[order[b].i][order[b].j]
-			if da != db {
-				return da < db
-			}
-			if order[a].i != order[b].i {
-				return order[a].i < order[b].i
-			}
-			return order[a].j < order[b].j
-		})
-		usedU := make([]bool, len(cellsU))
-		usedV := make([]bool, len(cellsV))
-		taken := 0
-		for _, c := range order {
-			if taken == nPairs {
-				break
-			}
-			if usedU[c.i] || usedV[c.j] {
-				continue
-			}
-			usedU[c.i], usedV[c.j] = true, true
-			taken++
-			weight := 1.0
-			if s.Par.UseIDF {
-				idfU := s.E.IDF(history.Bin{Window: w, Cell: cellsU[c.i]})
-				idfV := s.I.IDF(history.Bin{Window: w, Cell: cellsV[c.j]})
-				weight = math.Min(idfU, idfV)
-			}
-			num += Proximity(dist[c.i][c.j], s.Par.RunawayKm, s.Par.MinLogArg) * weight
-			den += weight // Proximity(0) == 1
-		}
-	})
+	}
+	s.pool.Put(sc)
 	if den <= 0 {
 		return 0, false
 	}
 	return num / den, true
 }
 
-// sortedCells returns the cell ids of a window in ascending order, giving
-// the pairing loops a deterministic iteration order.
-func sortedCells(cells map[geo.CellID]float64) []geo.CellID {
-	if len(cells) == 0 {
-		return nil
+// probeWindow runs the MNN sweep of one common window, accumulating the
+// actual (num) and idealized (den) contributions.
+func (s *Scorer) probeWindow(sc *scratch, cu, cv *history.Compiled, ku, kv int, idsU, idsV []geo.CellID, num, den *float64) {
+	loU, hiU := cu.Off[ku], cu.Off[ku+1]
+	loV, hiV := cv.Off[kv], cv.Off[kv+1]
+	nU, nV := int(hiU-loU), int(hiV-loV)
+	if nU == 0 || nV == 0 {
+		return
 	}
-	out := make([]geo.CellID, 0, len(cells))
-	for c := range cells {
-		out = append(out, c)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	cellsU, cellsV := cu.Cells[loU:hiU], cv.Cells[loV:hiV]
+	idfU, idfV := cu.IDF[loU:hiU], cv.IDF[loV:hiV]
+
+	n := nU * nV
+	dist := sc.floats(n)
+	s.fillDistances(sc, dist, cellsU, cellsV, idsU, idsV)
+	order := sc.ints(n)
+	sortPairOrder(order, dist)
+
+	usedU := grownBools(&sc.usedU, nU)
+	usedV := grownBools(&sc.usedV, nV)
+	nPairs := min(nU, nV)
+	taken := 0
+	for _, k := range order {
+		if taken == nPairs {
+			break
 		}
+		i, j := int(k)/nV, int(k)%nV
+		if usedU[i] || usedV[j] {
+			continue
+		}
+		usedU[i], usedV[j] = true, true
+		taken++
+		weight := 1.0
+		if s.Par.UseIDF {
+			weight = math.Min(idfU[i], idfV[j])
+		}
+		*num += Proximity(dist[int(k)], s.Par.RunawayKm, s.Par.MinLogArg) * weight
+		*den += weight // Proximity(0) == 1
 	}
-	return out
 }
 
 // forEachCommonWindow walks two sorted window slices and invokes fn for

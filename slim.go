@@ -22,7 +22,7 @@ package slim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -99,14 +99,12 @@ type Linker struct {
 	// similarity level (otherwise they alias storeE/storeI).
 	sigStoreE *history.Store
 	sigStoreI *history.Store
-	// candidates enumerated by LSH; nil means brute force (all pairs).
+	// candidates enumerated by LSH; nil means brute force (all pairs),
+	// which is streamed by index rather than materialized.
 	candidates []lsh.Pair
 	lshStats   *LSHStats
 	// lshDirty marks the candidate set stale after incremental adds.
 	lshDirty bool
-	// brutePairs caches the full cross product when LSH is disabled;
-	// invalidated by AddE/AddI.
-	brutePairs []lsh.Pair
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
@@ -285,6 +283,11 @@ func (lk *Linker) refreshLSHCandidates() {
 	sigsE := lsh.BuildSignatures(lk.sigStoreE, c.StepWindows, minW, maxW)
 	sigsI := lsh.BuildSignatures(lk.sigStoreI, c.StepWindows, minW, maxW)
 	pairs, st := lsh.CandidatePairs(sigsE, sigsI, p)
+	if pairs == nil {
+		// Zero survivors must stay distinguishable from "LSH disabled":
+		// a nil candidate set means brute force everywhere else.
+		pairs = []lsh.Pair{}
+	}
 	lk.candidates = pairs
 	lk.lshStats = &LSHStats{
 		SignatureLen: st.SignatureLen,
@@ -312,11 +315,8 @@ func (lk *Linker) add(store, sigStore *history.Store, recs []Record) {
 			sigStore.Add(r)
 		}
 	}
-	if len(recs) > 0 {
-		lk.brutePairs = nil
-		if lk.cfg.LSH != nil {
-			lk.lshDirty = true
-		}
+	if len(recs) > 0 && lk.cfg.LSH != nil {
+		lk.lshDirty = true
 	}
 }
 
@@ -344,25 +344,48 @@ func (lk *Linker) EntitiesI() []EntityID { return lk.storeI.Entities() }
 func (lk *Linker) Score(u, v EntityID) float64 { return lk.scorer.Score(u, v) }
 
 // CandidatePairs returns the pairs that will be scored: the LSH survivors,
-// or every cross pair when LSH is disabled. The brute-force cross product
-// is cached between calls and invalidated by AddE/AddI; the returned slice
-// must not be modified.
+// or every cross pair when LSH is disabled. In the brute-force case the
+// cross product is materialized afresh on every call — the scoring path
+// itself streams (u, v) index ranges and never builds this slice, so only
+// callers that explicitly want the full list pay for it. The returned
+// slice must not be modified when LSH is enabled.
 func (lk *Linker) CandidatePairs() []lsh.Pair {
 	if lk.candidates != nil {
 		return lk.candidates
 	}
-	if lk.brutePairs == nil {
-		es := lk.storeE.Entities()
-		is := lk.storeI.Entities()
-		pairs := make([]lsh.Pair, 0, len(es)*len(is))
-		for _, u := range es {
-			for _, v := range is {
-				pairs = append(pairs, lsh.Pair{U: u, V: v})
-			}
+	es := lk.storeE.Entities()
+	is := lk.storeI.Entities()
+	pairs := make([]lsh.Pair, 0, len(es)*len(is))
+	for _, u := range es {
+		for _, v := range is {
+			pairs = append(pairs, lsh.Pair{U: u, V: v})
 		}
-		lk.brutePairs = pairs
 	}
-	return lk.brutePairs
+	return pairs
+}
+
+// NumCandidatePairs returns how many pairs the next RunEdges will score,
+// without materializing them. Like RunEdges, it refreshes the LSH
+// candidate set if incremental adds left it stale; not safe concurrently
+// with Run.
+func (lk *Linker) NumCandidatePairs() int64 {
+	if lk.lshDirty {
+		lk.refreshLSHCandidates()
+	}
+	if lk.candidates != nil {
+		return int64(len(lk.candidates))
+	}
+	return int64(lk.storeE.NumEntities()) * int64(lk.storeI.NumEntities())
+}
+
+// Precompile eagerly builds the compiled read path of both history stores
+// (see history.Store.Compile), so the first Run after construction or
+// ingest pays compilation outside the scoring fan-out. RunEdges compiles
+// lazily anyway; Precompile just moves the cost, e.g. onto the parallel
+// shard-construction phase of a partitioned engine.
+func (lk *Linker) Precompile() {
+	lk.storeE.Compile()
+	lk.storeI.Compile()
 }
 
 // RunEdges scores the current candidate set and returns the positive
@@ -376,8 +399,26 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 	if lk.lshDirty {
 		lk.refreshLSHCandidates()
 	}
-	pairs := lk.CandidatePairs()
-	edges := lk.scorePairs(pairs)
+	// Refresh the compiled read path once, single-threaded, so the scoring
+	// fan-out below runs on immutable views: entities untouched since the
+	// last run keep their compiled state.
+	lk.Precompile()
+	nPairs := lk.NumCandidatePairs()
+	var edges []matching.Edge
+	if lk.candidates != nil {
+		pairs := lk.candidates
+		edges = lk.scoreIndexed(len(pairs), func(k int) (EntityID, EntityID) {
+			return pairs[k].U, pairs[k].V
+		})
+	} else {
+		// Brute force: enumerate the |E|×|I| cross product by index instead
+		// of materializing multi-GiB pair slices.
+		es := lk.storeE.Entities()
+		is := lk.storeI.Entities()
+		edges = lk.scoreIndexed(len(es)*len(is), func(k int) (EntityID, EntityID) {
+			return es[k/len(is)], is[k%len(is)]
+		})
+	}
 
 	st := lk.scorer.Stats()
 	delta := similarity.Stats{
@@ -387,7 +428,7 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 	}
 	lk.prevStats = st
 	stats := Stats{
-		CandidatePairs:    int64(len(pairs)),
+		CandidatePairs:    nPairs,
 		PositiveEdges:     int64(len(edges)),
 		BinComparisons:    delta.BinComparisons,
 		RecordComparisons: delta.RecordComparisons,
@@ -485,51 +526,62 @@ func FilterLinks(links []Link, thr float64) []Link {
 	return out
 }
 
-// scorePairs fans candidate pairs across workers and keeps positive edges.
-func (lk *Linker) scorePairs(pairs []lsh.Pair) []matching.Edge {
+// scoreIndexed fans the candidate pairs pairAt(0..total-1) across workers
+// and keeps positive edges. Each worker owns a contiguous index range and
+// writes into its own result slot; slots are concatenated in worker order
+// after the barrier, so the merge is deterministic and lock-free.
+func (lk *Linker) scoreIndexed(total int, pairAt func(int) (EntityID, EntityID)) []matching.Edge {
 	workers := lk.cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > total {
+		workers = total
 	}
 	if workers == 0 {
 		return nil
 	}
-	var mu sync.Mutex
-	var edges []matching.Edge
+	results := make([][]matching.Edge, workers)
 	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
+	chunk := (total + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
+		hi := min(lo+chunk, total)
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(part []lsh.Pair) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			local := make([]matching.Edge, 0, len(part)/4)
-			for _, p := range part {
-				if s := lk.scorer.Score(p.U, p.V); s > 0 {
-					local = append(local, matching.Edge{U: p.U, V: p.V, W: s})
+			local := make([]matching.Edge, 0, (hi-lo)/4)
+			for k := lo; k < hi; k++ {
+				u, v := pairAt(k)
+				if s := lk.scorer.Score(u, v); s > 0 {
+					local = append(local, matching.Edge{U: u, V: v, W: s})
 				}
 			}
-			mu.Lock()
-			edges = append(edges, local...)
-			mu.Unlock()
-		}(pairs[lo:hi])
+			results[w] = local
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	var edges []matching.Edge
+	for _, part := range results {
+		edges = append(edges, part...)
+	}
+	slices.SortFunc(edges, func(a, b matching.Edge) int {
+		if a.U != b.U {
+			if a.U < b.U {
+				return -1
+			}
+			return 1
 		}
-		return edges[i].V < edges[j].V
+		if a.V < b.V {
+			return -1
+		}
+		if a.V > b.V {
+			return 1
+		}
+		return 0
 	})
 	return edges
 }
