@@ -6,7 +6,8 @@
 // Usage:
 //
 //	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv]
-//	      [-data-dir ./data] [-fsync-interval 2ms] [-snapshot-every 8] [flags]
+//	      [-data-dir ./data] [-fsync-interval 2ms] [-snapshot-every 8]
+//	      [-debug-addr localhost:6060] [flags]
 //
 // The service may start empty (stream everything over the API) or seeded
 // with two CSV datasets (entity,lat,lng,unix), which are linked once at
@@ -22,11 +23,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the debug mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,11 +43,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		shards   = flag.Int("shards", 4, "number of linker shards")
-		debounce = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
-		ePath    = flag.String("e", "", "optional seed CSV for the first dataset")
-		iPath    = flag.String("i", "", "optional seed CSV for the second dataset")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof and expvar (e.g. localhost:6060)")
+		shards    = flag.Int("shards", 4, "number of linker shards")
+		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
+		ePath     = flag.String("e", "", "optional seed CSV for the first dataset")
+		iPath     = flag.String("i", "", "optional seed CSV for the second dataset")
 
 		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
 		fsyncInterval = flag.Duration("fsync-interval", storage.DefaultFsyncInterval, "WAL group-commit window (0 = fsync every append, <0 = never fsync)")
@@ -160,6 +164,28 @@ func main() {
 		srv.AttachStore(store)
 	}
 	srv.SetReady()
+
+	// Optional debug endpoint: pprof profiles plus expvar counters
+	// (engine, candidate index, and — when durable — storage), so a live
+	// service's candidate-index behavior is observable without touching
+	// the serving address. Both packages register on the default mux.
+	if *debugAddr != "" {
+		expvar.Publish("slim_engine", expvar.Func(func() any { return eng.Stats() }))
+		if store != nil {
+			expvar.Publish("slim_storage", expvar.Func(func() any { return store.Stats() }))
+		}
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("debug server listening on %s (/debug/pprof/, /debug/vars)", dln.Addr())
+		go func() {
+			dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,447 @@
+// Package candidates maintains SLIM's banded-LSH candidate pair set
+// incrementally. The batch path (internal/lsh.CandidatePairs) rebuilds
+// every signature and re-enumerates every band-bucket collision on each
+// call — an O(|E|+|I|) cost even when a single entity's history changed.
+// This package keeps the filter state alive between relinks: per-entity
+// signatures with history-version counters (mirroring the stale-entity
+// recompile discipline of internal/history's compiled views), band→bucket
+// hash maps, and a per-pair collision count. A dirty entity removes its
+// old band hashes and inserts its new ones, touching only the buckets it
+// left or entered, so a relink after a small ingest burst costs O(dirty)
+// instead of O(everything).
+//
+// The contract is exactness, not approximation: after any interleaving of
+// ingest, Pairs() equals a from-scratch lsh.CandidatePairs rebuild
+// pair-for-pair (see the parity suite). The invariant that delivers this
+// is simple: paircount[{u,v}] always equals the number of bands in which
+// u and v currently share a bucket, and every bucket insert/remove updates
+// it against the opposite side's current membership. The candidate set is
+// the keys with positive count — exactly the batch path's "share a bucket
+// in at least one band".
+//
+// Signature-geometry changes cannot be handled by delta: when the union
+// window range grows past the current grid (a new minimum window shifts
+// every query window; a signature-length change re-solves the Lambert-W
+// banding and re-partitions every band), the index bumps its epoch and
+// performs a full rebuild. Rebuilds are amortized — the range of a
+// mobility feed grows ever more rarely as it ages, while per-entity churn
+// never stops, which is exactly the case delta maintenance wins.
+package candidates
+
+import (
+	"time"
+
+	"slim/internal/history"
+	"slim/internal/lsh"
+	"slim/internal/model"
+)
+
+// Stats is a point-in-time snapshot of the index.
+type Stats struct {
+	// SignatureLen / Bands / Rows / NumBuckets describe the current
+	// epoch's grid geometry (all zero while either store is empty).
+	SignatureLen int
+	Bands        int
+	Rows         int
+	NumBuckets   int
+	// Epoch counts full rebuilds: 1 after the initial build, bumped every
+	// time signature geometry forces the index to start over.
+	Epoch uint64
+	// SignaturesE / SignaturesI count maintained per-entity signatures.
+	SignaturesE int
+	SignaturesI int
+	// Buckets counts non-empty (band, hash) buckets; Memberships counts
+	// (entity, band) bucket entries; Occupancy is Memberships/Buckets.
+	Buckets     int
+	Memberships int
+	Occupancy   float64
+	// Candidates is the number of distinct cross-dataset candidate pairs.
+	Candidates int64
+	// LastDirty is how many entity signatures the last Update actually
+	// recomputed; LastRebuild reports whether it was a full rebuild;
+	// LastUpdate is its wall-clock duration.
+	LastDirty   int
+	LastRebuild bool
+	LastUpdate  time.Duration
+}
+
+// entitySig is the maintained filter state of one entity: its signature
+// over the current grid, the bucket hash of each band (hasBand false for
+// placeholder-only bands, which are never hashed or bucketed), and the
+// history version the signature was computed from.
+type entitySig struct {
+	version  uint64
+	sig      lsh.Signature
+	bandHash []uint64
+	hasBand  []bool
+}
+
+// bucket holds one band bucket's members from each side.
+type bucket struct {
+	e []model.EntityID
+	i []model.EntityID
+}
+
+// Index is an incrementally maintained banded-LSH candidate index over two
+// history stores (built at the signature spatial level). It is not safe
+// for concurrent use; callers serialize Update/Pairs/Stats like any other
+// linker mutation.
+type Index struct {
+	params         lsh.Params
+	storeE, storeI *history.Store
+
+	// Grid of the current epoch: query window q covers leaf windows
+	// [gridMin + q·step, …) and the final window clamps to gridMax+1.
+	// banding.SigLen == 0 is the ungridded state (either store empty, or
+	// a degenerate step): no signatures, no pairs.
+	gridMin int64
+	gridMax int64
+	banding lsh.Banding
+	epoch   uint64
+
+	sigE, sigI map[model.EntityID]*entitySig
+
+	// buckets[band] maps bucket hash → members. memberships counts all
+	// (entity, band) entries for the occupancy stat.
+	buckets     []map[uint64]*bucket
+	memberships int
+
+	// paircount[p] = number of bands in which p currently collides; keys
+	// with positive count are the candidate set. pairs caches the sorted
+	// materialization; pairsStale marks it outdated.
+	paircount  map[lsh.Pair]int32
+	pairs      []lsh.Pair
+	pairsStale bool
+
+	// Scratch buffers so delta updates allocate nothing per entity.
+	scratchSig  lsh.Signature
+	scratchHash []uint64
+	scratchOK   []bool
+
+	lastDirty   int
+	lastRebuild bool
+	lastUpdate  time.Duration
+}
+
+// New creates an empty index over the two signature stores. Call Update
+// once to perform the initial build.
+func New(storeE, storeI *history.Store, p lsh.Params) *Index {
+	return &Index{
+		params:    p,
+		storeE:    storeE,
+		storeI:    storeI,
+		sigE:      make(map[model.EntityID]*entitySig),
+		sigI:      make(map[model.EntityID]*entitySig),
+		paircount: make(map[lsh.Pair]int32),
+	}
+}
+
+// Update brings the index up to date with its stores. dirtyE and dirtyI
+// name the entities whose histories may have changed since the previous
+// Update (nil on the first call; entities whose history version is
+// unchanged are skipped, so over-reporting is harmless — under-reporting
+// is not). When the union window range still fits the current grid the
+// index applies per-entity deltas; otherwise it bumps the epoch and
+// rebuilds from scratch.
+func (x *Index) Update(dirtyE, dirtyI map[model.EntityID]struct{}) {
+	start := time.Now()
+	minE, maxE, okE := x.storeE.WindowRange()
+	minI, maxI, okI := x.storeI.WindowRange()
+	if !okE || !okI {
+		// Batch semantics: no candidates until both sides hold data. Both
+		// stores only ever grow, so nothing can have been built yet.
+		x.lastDirty, x.lastRebuild, x.lastUpdate = 0, false, time.Since(start)
+		return
+	}
+	minW, maxW := minE, maxE
+	if minI < minW {
+		minW = minI
+	}
+	if maxI > maxW {
+		maxW = maxI
+	}
+	sigLen := lsh.SignatureLength(minW, maxW, x.params.StepWindows)
+	if sigLen != x.banding.SigLen || minW != x.gridMin {
+		x.rebuild(minW, maxW, sigLen)
+	} else {
+		// The grid anchor and length are unchanged; a larger gridMax only
+		// moves the (semantically inert) clamp of the final query window,
+		// so clean entities' signatures remain exact. See the
+		// AppendSignature doc comment for the argument.
+		x.gridMax = maxW
+		n := 0
+		n += x.applySide(dirtyE, true)
+		n += x.applySide(dirtyI, false)
+		x.lastDirty, x.lastRebuild = n, false
+	}
+	x.lastUpdate = time.Since(start)
+}
+
+// rebuild starts a new epoch: fresh buckets and pair counts, every
+// signature recomputed over the new grid.
+func (x *Index) rebuild(minW, maxW int64, sigLen int) {
+	x.epoch++
+	x.gridMin, x.gridMax = minW, maxW
+	x.banding = lsh.NewBanding(sigLen, x.params)
+	x.buckets = make([]map[uint64]*bucket, x.banding.Bands)
+	for band := range x.buckets {
+		x.buckets[band] = make(map[uint64]*bucket)
+	}
+	x.memberships = 0
+	clear(x.paircount)
+	x.pairsStale = true
+	x.lastRebuild = true
+	x.lastDirty = 0
+	if x.banding.Bands == 0 {
+		// Degenerate geometry (zero-length signatures): mirror the batch
+		// path, which enumerates nothing.
+		clear(x.sigE)
+		clear(x.sigI)
+		return
+	}
+
+	// Insert every entity's band hashes. Membership lists are built first
+	// and pair counts accumulated per bucket afterwards, which is the same
+	// O(Σ|bucket_E|·|bucket_I|) enumeration the batch path performs.
+	fill := func(store *history.Store, sigs map[model.EntityID]*entitySig, isE bool) {
+		for _, id := range store.Entities() {
+			es := sigs[id]
+			if es == nil {
+				es = &entitySig{}
+				sigs[id] = es
+			}
+			h := store.History(id)
+			es.version = h.Version()
+			es.sig = lsh.AppendSignature(es.sig, h, x.params.StepWindows, x.gridMin, x.gridMax, sigLen)
+			es.bandHash = resize(es.bandHash, x.banding.Bands)
+			es.hasBand = resize(es.hasBand, x.banding.Bands)
+			for band := 0; band < x.banding.Bands; band++ {
+				hv, ok := x.banding.BandHash(es.sig, band)
+				es.bandHash[band], es.hasBand[band] = hv, ok
+				if !ok {
+					continue
+				}
+				bkt := x.buckets[band][hv]
+				if bkt == nil {
+					bkt = &bucket{}
+					x.buckets[band][hv] = bkt
+				}
+				if isE {
+					bkt.e = append(bkt.e, id)
+				} else {
+					bkt.i = append(bkt.i, id)
+				}
+				x.memberships++
+			}
+			x.lastDirty++
+		}
+	}
+	fill(x.storeE, x.sigE, true)
+	fill(x.storeI, x.sigI, false)
+
+	for _, byHash := range x.buckets {
+		for _, bkt := range byHash {
+			for _, u := range bkt.e {
+				for _, v := range bkt.i {
+					x.paircount[lsh.Pair{U: u, V: v}]++
+				}
+			}
+		}
+	}
+}
+
+// applySide delta-updates one side's dirty entities and returns how many
+// signatures were actually recomputed.
+func (x *Index) applySide(dirty map[model.EntityID]struct{}, isE bool) int {
+	if len(dirty) == 0 || x.banding.Bands == 0 {
+		return 0
+	}
+	store, sigs := x.storeE, x.sigE
+	if !isE {
+		store, sigs = x.storeI, x.sigI
+	}
+	n := 0
+	for id := range dirty {
+		h := store.History(id)
+		if h == nil {
+			continue
+		}
+		es := sigs[id]
+		if es != nil && es.version == h.Version() {
+			continue // marked dirty but unchanged since its last compute
+		}
+		fresh := es == nil
+		if fresh {
+			es = &entitySig{
+				bandHash: make([]uint64, x.banding.Bands),
+				hasBand:  make([]bool, x.banding.Bands),
+			}
+			sigs[id] = es
+		}
+		x.scratchSig = lsh.AppendSignature(x.scratchSig, h, x.params.StepWindows, x.gridMin, x.gridMax, x.banding.SigLen)
+		x.scratchHash = resize(x.scratchHash, x.banding.Bands)
+		x.scratchOK = resize(x.scratchOK, x.banding.Bands)
+		for band := 0; band < x.banding.Bands; band++ {
+			x.scratchHash[band], x.scratchOK[band] = x.banding.BandHash(x.scratchSig, band)
+		}
+		for band := 0; band < x.banding.Bands; band++ {
+			oldOK, newOK := !fresh && es.hasBand[band], x.scratchOK[band]
+			oldH, newH := es.bandHash[band], x.scratchHash[band]
+			if oldOK == newOK && (!oldOK || oldH == newH) {
+				continue // this band's bucket did not change
+			}
+			if oldOK {
+				x.removeBand(band, oldH, id, isE)
+			}
+			if newOK {
+				x.insertBand(band, newH, id, isE)
+			}
+		}
+		copy(es.bandHash, x.scratchHash)
+		copy(es.hasBand, x.scratchOK)
+		es.sig = append(es.sig[:0], x.scratchSig...)
+		es.version = h.Version()
+		n++
+	}
+	return n
+}
+
+// insertBand adds id to one band bucket, counting the new collisions
+// against the opposite side's current members.
+func (x *Index) insertBand(band int, hash uint64, id model.EntityID, isE bool) {
+	bkt := x.buckets[band][hash]
+	if bkt == nil {
+		bkt = &bucket{}
+		x.buckets[band][hash] = bkt
+	}
+	if isE {
+		for _, v := range bkt.i {
+			x.bumpPair(lsh.Pair{U: id, V: v}, 1)
+		}
+		bkt.e = append(bkt.e, id)
+	} else {
+		for _, u := range bkt.e {
+			x.bumpPair(lsh.Pair{U: u, V: id}, 1)
+		}
+		bkt.i = append(bkt.i, id)
+	}
+	x.memberships++
+}
+
+// removeBand removes id from one band bucket, releasing its collisions
+// against the opposite side's current members.
+func (x *Index) removeBand(band int, hash uint64, id model.EntityID, isE bool) {
+	bkt := x.buckets[band][hash]
+	if bkt == nil {
+		return
+	}
+	if isE {
+		bkt.e = cut(bkt.e, id)
+		for _, v := range bkt.i {
+			x.bumpPair(lsh.Pair{U: id, V: v}, -1)
+		}
+	} else {
+		bkt.i = cut(bkt.i, id)
+		for _, u := range bkt.e {
+			x.bumpPair(lsh.Pair{U: u, V: id}, -1)
+		}
+	}
+	x.memberships--
+	if len(bkt.e) == 0 && len(bkt.i) == 0 {
+		delete(x.buckets[band], hash)
+	}
+}
+
+// bumpPair adjusts one pair's band-collision count, dropping the key at
+// zero so len(paircount) stays the candidate count. Only membership
+// changes (a count moving from or to zero) stale the sorted pair cache:
+// count-only churn — an entity hopping between buckets it already shares
+// with a counterpart in other bands — leaves the candidate set untouched
+// and must not trigger an O(P log P) re-materialization.
+func (x *Index) bumpPair(p lsh.Pair, d int32) {
+	old := x.paircount[p]
+	c := old + d
+	if c <= 0 {
+		if old > 0 {
+			delete(x.paircount, p)
+			x.pairsStale = true
+		}
+		return
+	}
+	x.paircount[p] = c
+	if old == 0 {
+		x.pairsStale = true
+	}
+}
+
+// cut removes the first occurrence of id (each entity appears at most once
+// per bucket) with an order-destroying swap-delete; bucket member order is
+// irrelevant to the pair set.
+func cut(s []model.EntityID, id model.EntityID) []model.EntityID {
+	for k, v := range s {
+		if v == id {
+			s[k] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// resize returns a slice of exactly n elements, reusing s's backing array
+// when it is large enough (contents are unspecified).
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Pairs returns the current candidate set sorted by (U, V) — the same
+// order as lsh.CandidatePairs. The slice is freshly allocated whenever the
+// set changed, so callers may hold a previous return value across later
+// Updates; they must not modify it.
+func (x *Index) Pairs() []lsh.Pair {
+	if x.pairsStale {
+		pairs := make([]lsh.Pair, 0, len(x.paircount))
+		for p := range x.paircount {
+			pairs = append(pairs, p)
+		}
+		lsh.SortPairs(pairs)
+		x.pairs = pairs
+		x.pairsStale = false
+	}
+	if x.pairs == nil {
+		x.pairs = []lsh.Pair{}
+	}
+	return x.pairs
+}
+
+// NumCandidates returns the candidate count without materializing Pairs.
+func (x *Index) NumCandidates() int64 { return int64(len(x.paircount)) }
+
+// Stats returns an observability snapshot of the index.
+func (x *Index) Stats() Stats {
+	nonEmpty := 0
+	for _, byHash := range x.buckets {
+		nonEmpty += len(byHash)
+	}
+	st := Stats{
+		SignatureLen: x.banding.SigLen,
+		Bands:        x.banding.Bands,
+		Rows:         x.banding.Rows,
+		NumBuckets:   x.banding.NumBuckets,
+		Epoch:        x.epoch,
+		SignaturesE:  len(x.sigE),
+		SignaturesI:  len(x.sigI),
+		Buckets:      nonEmpty,
+		Memberships:  x.memberships,
+		Candidates:   int64(len(x.paircount)),
+		LastDirty:    x.lastDirty,
+		LastRebuild:  x.lastRebuild,
+		LastUpdate:   x.lastUpdate,
+	}
+	if nonEmpty > 0 {
+		st.Occupancy = float64(x.memberships) / float64(nonEmpty)
+	}
+	return st
+}

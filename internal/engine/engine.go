@@ -75,6 +75,10 @@ type shard struct {
 	ran  atomic.Bool
 	entE atomic.Int64
 	entI atomic.Int64
+	// idx mirrors the shard's incremental LSH candidate-index snapshot
+	// (nil when LSH is disabled), refreshed after every rescore so Stats
+	// can aggregate it without taking runMu.
+	idx atomic.Pointer[slim.CandidateIndexStats]
 }
 
 // pending reports how many ingested records the shard has not yet applied.
@@ -110,6 +114,7 @@ func (sh *shard) syncCounts() {
 func (sh *shard) rescore(totalE int) {
 	sh.lk.SetTotalEntitiesE(totalE)
 	sh.edges, sh.stats = sh.lk.RunEdges()
+	sh.idx.Store(sh.lk.CandidateIndexStats())
 	sh.ran.Store(true)
 }
 
@@ -154,6 +159,10 @@ type Engine struct {
 	ingestedE atomic.Uint64
 	ingestedI atomic.Uint64
 	runs      atomic.Uint64
+	// lastDirtyShards mirrors how many shards the latest relink actually
+	// re-scored (ingest-driven observability next to the candidate-index
+	// counters).
+	lastDirtyShards atomic.Int64
 
 	kick   chan struct{}
 	stopCh chan struct{}
@@ -225,6 +234,10 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 			}
 			sh := &shard{lk: lk}
 			sh.syncCounts()
+			// Shard construction already built the candidate index (one
+			// initial epoch per shard, in parallel with the others);
+			// publish its stats before the shard is shared.
+			sh.idx.Store(lk.CandidateIndexStats())
 			e.shards[s] = sh
 		}(s)
 	}
@@ -363,10 +376,12 @@ func (e *Engine) Run() slim.Result {
 	for _, sh := range e.shards {
 		totalE += len(sh.lk.EntitiesE())
 	}
+	nDirty := 0
 	for s, sh := range e.shards {
 		if !dirty[s] {
 			continue
 		}
+		nDirty++
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -374,6 +389,21 @@ func (e *Engine) Run() slim.Result {
 		}(sh)
 	}
 	wg.Wait()
+	e.lastDirtyShards.Store(int64(nDirty))
+	// Clean shards performed no index update this run: zero the last-*
+	// fields of their mirrors so the aggregated CandidateIndex reports
+	// this relink's index work, not a stale echo of an older one (state
+	// fields — signatures, buckets, candidates — stay as-is).
+	for s, sh := range e.shards {
+		if dirty[s] {
+			continue
+		}
+		if p := sh.idx.Load(); p != nil && (p.LastDirty != 0 || p.LastRebuild || p.LastUpdate != 0) {
+			cp := *p
+			cp.LastDirty, cp.LastRebuild, cp.LastUpdate = 0, false, 0
+			sh.idx.Store(&cp)
+		}
+	}
 
 	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
 	// result and sum over every shard; the comparison counters report work
@@ -493,6 +523,16 @@ type Stats struct {
 	PendingRecords int
 	// DirtyShards counts shards that the next run will re-score.
 	DirtyShards int
+	// DirtyShardsLastRun counts shards the latest relink actually
+	// re-scored (clean shards reused their cached edges).
+	DirtyShardsLastRun int
+	// CandidateIndex aggregates the shards' incremental LSH
+	// candidate-index snapshots; nil when LSH is disabled. Counters are
+	// summed across shards (each shard indexes its E partition against a
+	// full I replica, so SignaturesI counts every replica and LastUpdate
+	// is the summed per-shard index time of the last relink); geometry
+	// fields and Epoch come from the widest shard grid.
+	CandidateIndex *slim.CandidateIndexStats
 	// Runs and Version count completed relinks and published results.
 	Runs    uint64
 	Version uint64
@@ -519,11 +559,12 @@ func (e *Engine) Pending() int {
 // counts may trail a relink in flight by one run).
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:       len(e.shards),
-		SpatialLevel: e.level,
-		IngestedE:    e.ingestedE.Load(),
-		IngestedI:    e.ingestedI.Load(),
-		Runs:         e.runs.Load(),
+		Shards:             len(e.shards),
+		SpatialLevel:       e.level,
+		IngestedE:          e.ingestedE.Load(),
+		IngestedI:          e.ingestedI.Load(),
+		Runs:               e.runs.Load(),
+		DirtyShardsLastRun: int(e.lastDirtyShards.Load()),
 	}
 	for s, sh := range e.shards {
 		pending := sh.pending()
@@ -535,6 +576,12 @@ func (e *Engine) Stats() Stats {
 		if s == 0 {
 			st.EntitiesI = int(sh.entI.Load())
 		}
+		if ix := sh.idx.Load(); ix != nil {
+			st.CandidateIndex = mergeIndexStats(st.CandidateIndex, ix)
+		}
+	}
+	if ci := st.CandidateIndex; ci != nil && ci.Buckets > 0 {
+		ci.Occupancy = float64(ci.Memberships) / float64(ci.Buckets)
 	}
 	e.mu.Lock()
 	st.Version = e.version
@@ -545,6 +592,35 @@ func (e *Engine) Stats() Stats {
 	}
 	e.mu.Unlock()
 	return st
+}
+
+// mergeIndexStats folds one shard's candidate-index snapshot into the
+// aggregate (see the Stats.CandidateIndex doc for the summation rules).
+// The snapshot pointers themselves are never mutated — agg is a private
+// accumulator.
+func mergeIndexStats(agg, ix *slim.CandidateIndexStats) *slim.CandidateIndexStats {
+	if agg == nil {
+		cp := *ix
+		return &cp
+	}
+	if ix.SignatureLen > agg.SignatureLen {
+		agg.SignatureLen = ix.SignatureLen
+		agg.Bands = ix.Bands
+		agg.Rows = ix.Rows
+		agg.NumBuckets = ix.NumBuckets
+	}
+	if ix.Epoch > agg.Epoch {
+		agg.Epoch = ix.Epoch
+	}
+	agg.SignaturesE += ix.SignaturesE
+	agg.SignaturesI += ix.SignaturesI
+	agg.Buckets += ix.Buckets
+	agg.Memberships += ix.Memberships
+	agg.Candidates += ix.Candidates
+	agg.LastDirty += ix.LastDirty
+	agg.LastRebuild = agg.LastRebuild || ix.LastRebuild
+	agg.LastUpdate += ix.LastUpdate
+	return agg
 }
 
 // scheduleRelink nudges the background scheduler (no-op when not started;

@@ -484,3 +484,85 @@ func TestEnginePersisterContract(t *testing.T) {
 		t.Fatalf("AfterRun called %d times, want 1", p.runs)
 	}
 }
+
+// TestEngineConcurrentIngestWithLSHIndex is the -race gate for the
+// incremental candidate index: every shard maintains its index under
+// concurrent AddE/AddI + Run + Stats traffic, and the final relink must
+// match a from-scratch engine built over the union datasets (the engine-
+// level version of the candidates parity suite).
+func TestEngineConcurrentIngestWithLSHIndex(t *testing.T) {
+	w := standardWorkload(16)
+	lo, _, _ := w.E.TimeRange()
+	cut := lo + 120000
+	beforeE, afterE := splitByTime(w.E, cut)
+	beforeI, afterI := splitByTime(w.I, cut)
+
+	cfg := slim.Defaults()
+	cfg.LSH = &slim.LSHConfig{Threshold: 0.2, StepWindows: 48, SpatialLevel: 12, NumBuckets: 1 << 14}
+	eng, err := New(
+		slim.Dataset{Name: "E", Records: beforeE},
+		slim.Dataset{Name: "I", Records: beforeI},
+		Config{Shards: 4, Link: cfg, Debounce: time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	eng.Run()
+
+	const batch = 25
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(afterE); i += batch {
+			eng.AddE(afterE[i:min(i+batch, len(afterE))]...)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(afterI); i += batch {
+			eng.AddI(afterI[i:min(i+batch, len(afterI))]...)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			eng.Run()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			st := eng.Stats() // races index-stat mirrors against relinks
+			_ = st.CandidateIndex
+		}
+	}()
+	wg.Wait()
+	eng.Close()
+	final := eng.Run()
+
+	st := eng.Stats()
+	if st.CandidateIndex == nil {
+		t.Fatal("engine stats carry no candidate-index block with LSH enabled")
+	}
+	if st.CandidateIndex.Epoch == 0 || st.CandidateIndex.SignaturesE == 0 {
+		t.Fatalf("candidate index looks unbuilt after ingest: %+v", st.CandidateIndex)
+	}
+
+	fresh, err := New(w.E, w.I, Config{Shards: 4, Link: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Run()
+	sortLinks(final.Links)
+	sortLinks(want.Links)
+	if len(final.Links) != len(want.Links) {
+		t.Fatalf("incremental engine found %d links, fresh engine %d", len(final.Links), len(want.Links))
+	}
+	for i := range want.Links {
+		if final.Links[i] != want.Links[i] {
+			t.Fatalf("link %d differs after concurrent LSH ingest: %+v vs %+v", i, final.Links[i], want.Links[i])
+		}
+	}
+}

@@ -88,6 +88,12 @@ func newHistory(entity model.EntityID, recs []model.Record, w model.Windowing, l
 // The returned slice must not be modified.
 func (h *History) Windows() []int64 { return h.windows }
 
+// Version returns the history's mutation counter: 0 for a freshly built
+// history, bumped by every Store.Add that touches the entity. The compiled
+// scoring views (compiled.go) and the incremental LSH candidate index
+// (internal/candidates) both key their stale-entity checks on it.
+func (h *History) Version() uint64 { return h.version }
+
 // CellsAt returns the cell→record-count map of the given leaf window (nil
 // if the entity has no records there). The returned map must not be
 // modified.

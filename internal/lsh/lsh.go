@@ -6,12 +6,16 @@
 // pairs that share a bucket in at least one band become linkage candidates,
 // which is what delivers the paper's two-to-four orders of magnitude
 // speedup.
+//
+// The banding primitives (Banding, BandHash, AppendSignature) are shared
+// between the batch enumeration below and the incremental candidate index
+// in internal/candidates, so both paths hash exactly the same bytes and
+// can never disagree on which pairs collide.
 package lsh
 
 import (
-	"hash/fnv"
 	"math"
-	"sort"
+	"slices"
 
 	"slim/internal/geo"
 	"slim/internal/history"
@@ -23,6 +27,10 @@ import (
 // the paper, placeholders keep signature structure aligned across entities
 // but are omitted when hashing.
 const Placeholder geo.CellID = 0
+
+// DefaultNumBuckets is the per-band bucket count used when Params leaves
+// NumBuckets unset (the paper's default).
+const DefaultNumBuckets = 4096
 
 // Params configures the LSH filter.
 type Params struct {
@@ -42,7 +50,7 @@ type Params struct {
 
 // DefaultParams mirrors the paper's defaults: t = 0.6, 4096 buckets.
 func DefaultParams(stepWindows, spatialLevel int) Params {
-	return Params{Threshold: 0.6, StepWindows: stepWindows, SpatialLevel: spatialLevel, NumBuckets: 4096}
+	return Params{Threshold: 0.6, StepWindows: stepWindows, SpatialLevel: spatialLevel, NumBuckets: DefaultNumBuckets}
 }
 
 // Signature is the ordered list of dominating grid cells of one entity,
@@ -109,6 +117,110 @@ func CandidateProbability(t float64, b, r int) float64 {
 	return 1 - math.Pow(1-math.Pow(t, float64(r)), float64(b))
 }
 
+// Banding is the resolved banded-hashing geometry of one signature grid:
+// how many bands, how many rows per band, and how many buckets each band
+// hashes into. It is derived once per grid (NewBanding) and shared by the
+// batch CandidatePairs enumeration and the incremental candidate index.
+type Banding struct {
+	SigLen     int
+	Bands      int
+	Rows       int
+	NumBuckets int
+}
+
+// NewBanding resolves the banding geometry for a signature length under
+// the given params (Bands for b/r, DefaultNumBuckets when unset).
+func NewBanding(sigLen int, p Params) Banding {
+	b, r := Bands(sigLen, p.Threshold)
+	nb := p.NumBuckets
+	if nb <= 0 {
+		nb = DefaultNumBuckets
+	}
+	return Banding{SigLen: sigLen, Bands: b, Rows: r, NumBuckets: nb}
+}
+
+// BandRange returns the [lo, hi) signature row range of one band; the
+// final band may be short (Design decision 6).
+func (g Banding) BandRange(band int) (lo, hi int) {
+	lo = band * g.Rows
+	hi = lo + g.Rows
+	if hi > g.SigLen {
+		hi = g.SigLen
+	}
+	return lo, hi
+}
+
+// FNV-1a constants (identical to hash/fnv's 64a variant; inlined so band
+// hashing performs zero allocations on the hot incremental path).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWrite64 folds the 8 little-endian bytes of v into an FNV-1a state,
+// byte-for-byte identical to writing the same buffer into fnv.New64a.
+func fnvWrite64(h, v uint64) uint64 {
+	for k := 0; k < 8; k++ {
+		h ^= v >> (8 * k) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// BandHash hashes the non-placeholder rows of one band into the bucket
+// space; ok is false when the band holds only placeholders (such bands are
+// never hashed, so two entirely silent entities do not collide).
+func (g Banding) BandHash(sig Signature, band int) (uint64, bool) {
+	lo, hi := g.BandRange(band)
+	if lo >= hi {
+		return 0, false
+	}
+	h := uint64(fnvOffset64)
+	h = fnvWrite64(h, uint64(band))
+	any := false
+	for row := lo; row < hi && row < len(sig); row++ {
+		if sig[row] == Placeholder {
+			continue
+		}
+		any = true
+		h = fnvWrite64(h, uint64(row))
+		h = fnvWrite64(h, uint64(sig[row]))
+	}
+	if !any {
+		return 0, false
+	}
+	return h % uint64(g.NumBuckets), true
+}
+
+// AppendSignature computes one entity's signature over the query grid that
+// starts at leaf window minWin, covers n query windows of stepWindows
+// leaves each, and clamps the final query window to maxWin+1. The result
+// is appended to dst[:0] (pass nil to allocate) so incremental callers can
+// reuse one buffer.
+//
+// The clamp matches the historical batch behavior but is semantically
+// inert: DominatingCell sums record counts, and a history holds no records
+// past its dataset's max window ≤ maxWin, so extending the final query
+// window past maxWin+1 could never change the outcome. This is what lets
+// the incremental index keep signatures computed under an older maxWin
+// when later ingest grows the range without growing n.
+func AppendSignature(dst Signature, h *history.History, stepWindows int, minWin, maxWin int64, n int) Signature {
+	dst = dst[:0]
+	for q := 0; q < n; q++ {
+		start := minWin + int64(q)*int64(stepWindows)
+		end := start + int64(stepWindows)
+		if end > maxWin+1 {
+			end = maxWin + 1
+		}
+		if cell, ok := h.DominatingCell(start, end); ok {
+			dst = append(dst, cell)
+		} else {
+			dst = append(dst, Placeholder)
+		}
+	}
+	return dst
+}
+
 // BuildSignatures computes a signature for every entity of the store by
 // querying each history's dominating cell for consecutive non-overlapping
 // query windows covering [minWin, maxWin] (the union range of the two
@@ -119,21 +231,7 @@ func BuildSignatures(s *history.Store, stepWindows int, minWin, maxWin int64) ma
 	n := SignatureLength(minWin, maxWin, stepWindows)
 	out := make(map[model.EntityID]Signature, s.NumEntities())
 	for _, e := range s.Entities() {
-		h := s.History(e)
-		sig := make(Signature, n)
-		for q := 0; q < n; q++ {
-			start := minWin + int64(q)*int64(stepWindows)
-			end := start + int64(stepWindows)
-			if end > maxWin+1 {
-				end = maxWin + 1
-			}
-			if cell, ok := h.DominatingCell(start, end); ok {
-				sig[q] = cell
-			} else {
-				sig[q] = Placeholder
-			}
-		}
-		out[e] = sig
+		out[e] = AppendSignature(make(Signature, 0, n), s.History(e), stepWindows, minWin, maxWin, n)
 	}
 	return out
 }
@@ -168,42 +266,32 @@ func CandidatePairs(sigsE, sigsI map[model.EntityID]Signature, p Params) ([]Pair
 		sigLen = len(sig)
 		break
 	}
-	b, r := Bands(sigLen, p.Threshold)
+	g := NewBanding(sigLen, p)
 	st.SignatureLen = sigLen
-	st.Bands = b
-	st.Rows = r
-	if b == 0 {
+	st.Bands = g.Bands
+	st.Rows = g.Rows
+	if g.Bands == 0 {
 		return nil, st
 	}
-	numBuckets := p.NumBuckets
-	if numBuckets <= 0 {
-		numBuckets = 4096
-	}
 
-	// Deterministic iteration: sort entity ids.
-	esIDs := sortedIDs(sigsE)
-	isIDs := sortedIDs(sigsI)
+	// Deterministic iteration: both id lists sorted into one shared buffer.
+	ids := make([]model.EntityID, 0, len(sigsE)+len(sigsI))
+	esIDs := appendSortedIDs(ids, sigsE)
+	isIDs := appendSortedIDs(esIDs[len(esIDs):], sigsI)
 
 	seen := make(map[Pair]struct{})
 	var pairs []Pair
-	for band := 0; band < b; band++ {
-		lo := band * r
-		hi := lo + r
-		if hi > sigLen {
-			hi = sigLen
-		}
-		if lo >= hi {
-			continue
-		}
-		buckets := make(map[uint64][]model.EntityID)
+	buckets := make(map[uint64][]model.EntityID)
+	for band := 0; band < g.Bands; band++ {
+		clear(buckets)
 		for _, e := range esIDs {
-			if h, ok := bandHash(sigsE[e], band, lo, hi, numBuckets); ok {
+			if h, ok := g.BandHash(sigsE[e], band); ok {
 				buckets[h] = append(buckets[h], e)
 				st.BandsHashed++
 			}
 		}
 		for _, i := range isIDs {
-			h, ok := bandHash(sigsI[i], band, lo, hi, numBuckets)
+			h, ok := g.BandHash(sigsI[i], band)
 			if !ok {
 				continue
 			}
@@ -217,49 +305,38 @@ func CandidatePairs(sigsE, sigsI map[model.EntityID]Signature, p Params) ([]Pair
 			}
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].U != pairs[b].U {
-			return pairs[a].U < pairs[b].U
-		}
-		return pairs[a].V < pairs[b].V
-	})
+	SortPairs(pairs)
 	st.Candidates = int64(len(pairs))
 	return pairs, st
 }
 
-// bandHash hashes the non-placeholder rows of one band; ok is false when
-// the band holds only placeholders (such bands are never hashed, so two
-// entirely silent entities do not collide).
-func bandHash(sig Signature, band, lo, hi, numBuckets int) (uint64, bool) {
-	h := fnv.New64a()
-	var buf [8]byte
-	write := func(v uint64) {
-		for k := 0; k < 8; k++ {
-			buf[k] = byte(v >> (8 * k))
+// SortPairs orders pairs by (U, V) ascending — the canonical candidate
+// order shared by the batch path and the incremental index.
+func SortPairs(pairs []Pair) {
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		if a.U != b.U {
+			if a.U < b.U {
+				return -1
+			}
+			return 1
 		}
-		_, _ = h.Write(buf[:])
-	}
-	write(uint64(band))
-	any := false
-	for row := lo; row < hi && row < len(sig); row++ {
-		if sig[row] == Placeholder {
-			continue
+		if a.V < b.V {
+			return -1
 		}
-		any = true
-		write(uint64(row))
-		write(uint64(sig[row]))
-	}
-	if !any {
-		return 0, false
-	}
-	return h.Sum64() % uint64(numBuckets), true
+		if a.V > b.V {
+			return 1
+		}
+		return 0
+	})
 }
 
-func sortedIDs(sigs map[model.EntityID]Signature) []model.EntityID {
-	out := make([]model.EntityID, 0, len(sigs))
+// appendSortedIDs appends the map's keys to dst[:0] and sorts them, so one
+// backing buffer can serve several id lists without per-call sort closures.
+func appendSortedIDs(dst []model.EntityID, sigs map[model.EntityID]Signature) []model.EntityID {
+	dst = dst[:0]
 	for id := range sigs {
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst)
+	return dst
 }

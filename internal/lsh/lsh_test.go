@@ -1,7 +1,10 @@
 package lsh
 
 import (
+	"hash/fnv"
 	"math"
+	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -330,5 +333,101 @@ func BenchmarkCandidatePairs(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		_, _ = CandidatePairs(sigsE, sigsI, p)
+	}
+}
+
+// TestBandHashMatchesFNVReference pins the inlined FNV-1a band hashing to
+// the hash/fnv byte stream it replaced: any drift would silently reshuffle
+// every bucket and therefore every candidate set.
+func TestBandHashMatchesFNVReference(t *testing.T) {
+	ref := func(sig Signature, band, lo, hi, numBuckets int) (uint64, bool) {
+		h := fnv.New64a()
+		var buf [8]byte
+		write := func(v uint64) {
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(v >> (8 * k))
+			}
+			_, _ = h.Write(buf[:])
+		}
+		write(uint64(band))
+		any := false
+		for row := lo; row < hi && row < len(sig); row++ {
+			if sig[row] == Placeholder {
+				continue
+			}
+			any = true
+			write(uint64(row))
+			write(uint64(sig[row]))
+		}
+		if !any {
+			return 0, false
+		}
+		return h.Sum64() % uint64(numBuckets), true
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(24)
+		sig := make(Signature, n)
+		for i := range sig {
+			if rng.Intn(3) == 0 {
+				sig[i] = Placeholder
+			} else {
+				sig[i] = geo.CellID(rng.Uint64())
+			}
+		}
+		g := NewBanding(n, Params{Threshold: 0.2 + 0.6*rng.Float64(), NumBuckets: 1 << uint(6+rng.Intn(9))})
+		for band := 0; band < g.Bands; band++ {
+			lo, hi := g.BandRange(band)
+			want, wantOK := ref(sig, band, lo, hi, g.NumBuckets)
+			got, gotOK := g.BandHash(sig, band)
+			if got != want || gotOK != wantOK {
+				t.Fatalf("band %d of %d rows: BandHash=(%d,%v) fnv reference=(%d,%v)", band, n, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestAppendSignatureMatchesBuildSignatures verifies the single-entity
+// primitive (with buffer reuse) agrees with the batch builder.
+func TestAppendSignatureMatchesBuildSignatures(t *testing.T) {
+	var recs []model.Record
+	for e := 0; e < 8; e++ {
+		id := string(rune('a' + e))
+		for k := 0; k < 30; k++ {
+			recs = append(recs, rec(id, 37+float64((e*5+k)%11)*0.05, -122.4, int64(900*(k*3+e))))
+		}
+	}
+	s := history.Build(&model.Dataset{Name: "E", Records: recs}, wnd, 13)
+	minW, maxW, _ := s.WindowRange()
+	n := SignatureLength(minW, maxW, 4)
+	batch := BuildSignatures(s, 4, minW, maxW)
+	var buf Signature
+	for _, e := range s.Entities() {
+		buf = AppendSignature(buf, s.History(e), 4, minW, maxW, n)
+		if !slices.Equal(buf, batch[e]) {
+			t.Fatalf("entity %s: AppendSignature %v != BuildSignatures %v", e, buf, batch[e])
+		}
+	}
+}
+
+// TestNewBandingDefaults checks the bucket-count default and range clamp.
+func TestNewBandingDefaults(t *testing.T) {
+	g := NewBanding(10, Params{Threshold: 0.6})
+	if g.NumBuckets != DefaultNumBuckets {
+		t.Fatalf("NumBuckets = %d, want default %d", g.NumBuckets, DefaultNumBuckets)
+	}
+	total := 0
+	for band := 0; band < g.Bands; band++ {
+		lo, hi := g.BandRange(band)
+		if lo >= hi && band < g.Bands-1 {
+			t.Fatalf("band %d empty before the final band", band)
+		}
+		if hi > g.SigLen {
+			t.Fatalf("band %d overruns the signature: hi=%d len=%d", band, hi, g.SigLen)
+		}
+		total += hi - lo
+	}
+	if total != g.SigLen {
+		t.Fatalf("bands cover %d rows, want %d", total, g.SigLen)
 	}
 }

@@ -8,7 +8,7 @@
 //	POST /v1/snapshot                 manual storage checkpoint (503 without a data dir)
 //	GET  /v1/links                    current links (?limit=&offset=&min_score=)
 //	GET  /v1/links/{entity}           links involving one entity (either side)
-//	GET  /v1/stats                    engine + last-run + storage statistics
+//	GET  /v1/stats                    engine + candidate-index + storage statistics
 //	GET  /healthz                     liveness probe
 //	GET  /readyz                      readiness probe: 503 until recovery and
 //	                                  the initial seed link have completed
@@ -300,41 +300,83 @@ type storageStatsJSON struct {
 	NextSeq            uint64  `json:"next_seq"`
 }
 
+// candidateIndexJSON is the wire form of the aggregated incremental LSH
+// candidate-index statistics (omitted when LSH is disabled).
+type candidateIndexJSON struct {
+	SignatureLen      int     `json:"signature_len"`
+	Bands             int     `json:"bands"`
+	Rows              int     `json:"rows"`
+	NumBuckets        int     `json:"num_buckets"`
+	Epoch             uint64  `json:"epoch"`
+	SignaturesE       int     `json:"signatures_e"`
+	SignaturesI       int     `json:"signatures_i"`
+	Buckets           int     `json:"buckets"`
+	Memberships       int     `json:"memberships"`
+	Occupancy         float64 `json:"occupancy"`
+	Candidates        int64   `json:"candidates"`
+	DirtyEntitiesLast int     `json:"dirty_entities_last"`
+	LastRebuild       bool    `json:"last_rebuild"`
+	LastUpdateMs      float64 `json:"last_update_ms"`
+}
+
 type statsResponse struct {
-	Shards         int               `json:"shards"`
-	SpatialLevel   int               `json:"spatial_level"`
-	EntitiesE      int               `json:"entities_e"`
-	EntitiesI      int               `json:"entities_i"`
-	IngestedE      uint64            `json:"ingested_e"`
-	IngestedI      uint64            `json:"ingested_i"`
-	PendingRecords int               `json:"pending_records"`
-	DirtyShards    int               `json:"dirty_shards"`
-	Runs           uint64            `json:"runs"`
-	Version        uint64            `json:"version"`
-	LastRunUnixMs  int64             `json:"last_run_unix_ms,omitempty"`
-	Links          int               `json:"links"`
-	Threshold      float64           `json:"threshold"`
-	Storage        *storageStatsJSON `json:"storage,omitempty"`
+	Shards         int    `json:"shards"`
+	SpatialLevel   int    `json:"spatial_level"`
+	EntitiesE      int    `json:"entities_e"`
+	EntitiesI      int    `json:"entities_i"`
+	IngestedE      uint64 `json:"ingested_e"`
+	IngestedI      uint64 `json:"ingested_i"`
+	PendingRecords int    `json:"pending_records"`
+	DirtyShards    int    `json:"dirty_shards"`
+	// DirtyShardsLastRun counts shards the latest relink re-scored;
+	// CandidateIndex reports the incremental LSH index behind them.
+	DirtyShardsLastRun int                 `json:"dirty_shards_last_run"`
+	Runs               uint64              `json:"runs"`
+	Version            uint64              `json:"version"`
+	LastRunUnixMs      int64               `json:"last_run_unix_ms,omitempty"`
+	Links              int                 `json:"links"`
+	Threshold          float64             `json:"threshold"`
+	CandidateIndex     *candidateIndexJSON `json:"candidate_index,omitempty"`
+	Storage            *storageStatsJSON   `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	st := s.eng.Stats()
 	resp := statsResponse{
-		Shards:         st.Shards,
-		SpatialLevel:   st.SpatialLevel,
-		EntitiesE:      st.EntitiesE,
-		EntitiesI:      st.EntitiesI,
-		IngestedE:      st.IngestedE,
-		IngestedI:      st.IngestedI,
-		PendingRecords: st.PendingRecords,
-		DirtyShards:    st.DirtyShards,
-		Runs:           st.Runs,
-		Version:        st.Version,
-		Links:          st.Links,
-		Threshold:      st.Threshold,
+		Shards:             st.Shards,
+		SpatialLevel:       st.SpatialLevel,
+		EntitiesE:          st.EntitiesE,
+		EntitiesI:          st.EntitiesI,
+		IngestedE:          st.IngestedE,
+		IngestedI:          st.IngestedI,
+		PendingRecords:     st.PendingRecords,
+		DirtyShards:        st.DirtyShards,
+		DirtyShardsLastRun: st.DirtyShardsLastRun,
+		Runs:               st.Runs,
+		Version:            st.Version,
+		Links:              st.Links,
+		Threshold:          st.Threshold,
 	}
 	if !st.LastRun.IsZero() {
 		resp.LastRunUnixMs = st.LastRun.UnixMilli()
+	}
+	if ci := st.CandidateIndex; ci != nil {
+		resp.CandidateIndex = &candidateIndexJSON{
+			SignatureLen:      ci.SignatureLen,
+			Bands:             ci.Bands,
+			Rows:              ci.Rows,
+			NumBuckets:        ci.NumBuckets,
+			Epoch:             ci.Epoch,
+			SignaturesE:       ci.SignaturesE,
+			SignaturesI:       ci.SignaturesI,
+			Buckets:           ci.Buckets,
+			Memberships:       ci.Memberships,
+			Occupancy:         ci.Occupancy,
+			Candidates:        ci.Candidates,
+			DirtyEntitiesLast: ci.LastDirty,
+			LastRebuild:       ci.LastRebuild,
+			LastUpdateMs:      float64(ci.LastUpdate.Microseconds()) / 1000,
+		}
 	}
 	if s.store != nil {
 		sst := s.store.Stats()

@@ -408,3 +408,75 @@ func TestServerIngestFailsClosed(t *testing.T) {
 		t.Fatalf("failed batch buffered: pending=%d", eng.Pending())
 	}
 }
+
+// TestServerCandidateIndexStats boots an LSH-enabled engine, streams a
+// burst, and verifies /v1/stats surfaces the aggregated candidate-index
+// metrics (signatures, buckets, dirty entities, last-update time) plus the
+// last relink's dirty-shard count.
+func TestServerCandidateIndexStats(t *testing.T) {
+	cfg := slim.Defaults()
+	cfg.LSH = &slim.LSHConfig{Threshold: 0.2, StepWindows: 8, SpatialLevel: 12, NumBuckets: 1 << 10}
+	eng, err := engine.New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		engine.Config{Shards: 2, Link: cfg, Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, nil).Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(eng.Close)
+
+	var recs []map[string]any
+	for e := 0; e < 6; e++ {
+		for k := 0; k < 8; k++ {
+			recs = append(recs, map[string]any{
+				"entity": fmt.Sprintf("u%d", e),
+				"lat":    37.6 + float64(e)*0.01, "lng": -122.4,
+				"unix": int64(900 * k),
+			})
+		}
+	}
+	postJSON(t, ts.URL+"/v1/datasets/e/records", map[string]any{"records": recs})
+	for i := range recs {
+		recs[i]["entity"] = fmt.Sprintf("v%d", i%6)
+	}
+	postJSON(t, ts.URL+"/v1/datasets/i/records", map[string]any{"records": recs})
+	postJSON(t, ts.URL+"/v1/link", nil)
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	ci := st.CandidateIndex
+	if ci == nil {
+		t.Fatal("stats response has no candidate_index despite LSH being enabled")
+	}
+	if ci.SignaturesE != 6 || ci.SignaturesI != 6*eng.NumShards() {
+		t.Errorf("signatures %d/%d, want 6 E and %d replicated I", ci.SignaturesE, ci.SignaturesI, 6*eng.NumShards())
+	}
+	if ci.Epoch == 0 || ci.Buckets == 0 || ci.Occupancy <= 0 {
+		t.Errorf("index looks unbuilt: %+v", ci)
+	}
+	if st.DirtyShardsLastRun == 0 {
+		t.Error("dirty_shards_last_run = 0 after the first relink")
+	}
+
+	// A second relink with nothing pending re-scores nothing.
+	postJSON(t, ts.URL+"/v1/link", nil)
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.DirtyShardsLastRun != 0 {
+		t.Errorf("dirty_shards_last_run = %d after a no-op relink, want 0", st.DirtyShardsLastRun)
+	}
+
+	// Disabled LSH must omit the block entirely.
+	eng2, err := engine.New(slim.Dataset{Name: "E"}, slim.Dataset{Name: "I"},
+		engine.Config{Shards: 2, Link: slim.Defaults(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(eng2, nil).Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(eng2.Close)
+	var st2 statsResponse
+	getJSON(t, ts2.URL+"/v1/stats", &st2)
+	if st2.CandidateIndex != nil {
+		t.Error("candidate_index present with LSH disabled")
+	}
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# bench2json.sh <bench-output.txt> — convert `go test -bench` output to a
+# JSON array (one object per benchmark, metric columns keyed by unit),
+# the schema of the BENCH_*.json artifacts CI uploads for trend tracking.
+set -euo pipefail
+awk 'BEGIN { print "[" }
+     /^Benchmark/ {
+       if (n++) printf(",\n")
+       printf("  {\"name\":\"%s\",\"iterations\":%s", $1, $2)
+       for (i = 3; i < NF; i += 2) printf(",\"%s\":%s", $(i+1), $i)
+       printf("}")
+     }
+     END { print "\n]" }' "$1"

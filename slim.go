@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"slim/internal/candidates"
 	"slim/internal/history"
 	"slim/internal/lsh"
 	"slim/internal/matching"
@@ -103,8 +104,13 @@ type Linker struct {
 	// which is streamed by index rather than materialized.
 	candidates []lsh.Pair
 	lshStats   *LSHStats
-	// lshDirty marks the candidate set stale after incremental adds.
-	lshDirty bool
+	// candIndex incrementally maintains the LSH candidate set (non-nil
+	// exactly when cfg.LSH is set); lshDirtyE/lshDirtyI collect the
+	// entities touched by AddE/AddI since the last refresh, so a relink
+	// updates the index in O(dirty) instead of rebuilding the world.
+	candIndex *candidates.Index
+	lshDirtyE map[EntityID]struct{}
+	lshDirtyI map[EntityID]struct{}
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
@@ -241,8 +247,8 @@ func buildLinker(fe, fi Dataset, cfg Config, wnd model.Windowing) (*Linker, erro
 	return lk, nil
 }
 
-// buildLSHCandidates constructs dominating-cell signatures (at the LSH's
-// own spatial level) and enumerates co-bucketed cross pairs.
+// buildLSHCandidates constructs dominating-cell signature stores (at the
+// LSH's own spatial level) and the incremental candidate index over them.
 func (lk *Linker) buildLSHCandidates(fe, fi *model.Dataset) error {
 	c := lk.cfg.LSH
 	lk.sigStoreE = lk.storeE
@@ -251,44 +257,38 @@ func (lk *Linker) buildLSHCandidates(fe, fi *model.Dataset) error {
 		lk.sigStoreE = history.Build(fe, lk.wnd, c.SpatialLevel)
 		lk.sigStoreI = history.Build(fi, lk.wnd, c.SpatialLevel)
 	}
-	lk.refreshLSHCandidates()
-	return nil
-}
-
-// refreshLSHCandidates recomputes signatures and the candidate pair set
-// from the (possibly incrementally updated) signature stores.
-func (lk *Linker) refreshLSHCandidates() {
-	c := lk.cfg.LSH
-	lk.lshDirty = false
-	minE, maxE, okE := lk.sigStoreE.WindowRange()
-	minI, maxI, okI := lk.sigStoreI.WindowRange()
-	if !okE || !okI {
-		lk.candidates = []lsh.Pair{}
-		lk.lshStats = &LSHStats{}
-		return
-	}
-	minW, maxW := minE, maxE
-	if minI < minW {
-		minW = minI
-	}
-	if maxI > maxW {
-		maxW = maxI
-	}
-	p := lsh.Params{
+	lk.candIndex = candidates.New(lk.sigStoreE, lk.sigStoreI, lsh.Params{
 		Threshold:    c.Threshold,
 		StepWindows:  c.StepWindows,
 		SpatialLevel: c.SpatialLevel,
 		NumBuckets:   c.NumBuckets,
-	}
-	sigsE := lsh.BuildSignatures(lk.sigStoreE, c.StepWindows, minW, maxW)
-	sigsI := lsh.BuildSignatures(lk.sigStoreI, c.StepWindows, minW, maxW)
-	pairs, st := lsh.CandidatePairs(sigsE, sigsI, p)
-	if pairs == nil {
-		// Zero survivors must stay distinguishable from "LSH disabled":
-		// a nil candidate set means brute force everywhere else.
-		pairs = []lsh.Pair{}
-	}
-	lk.candidates = pairs
+	})
+	lk.lshDirtyE = make(map[EntityID]struct{})
+	lk.lshDirtyI = make(map[EntityID]struct{})
+	lk.refreshLSHCandidates()
+	return nil
+}
+
+// lshStale reports whether incremental adds have outdated the candidate
+// set since the last refresh.
+func (lk *Linker) lshStale() bool {
+	return len(lk.lshDirtyE) > 0 || len(lk.lshDirtyI) > 0
+}
+
+// refreshLSHCandidates brings the candidate index up to date with the
+// signature stores. Where this used to rebuild every signature and
+// re-enumerate every band-bucket collision, it now forwards the dirty
+// entity set to the index, which updates by delta (an epoch rebuild only
+// when the window range outgrew the signature grid); the resulting pair
+// set is identical to a from-scratch rebuild (see internal/candidates).
+func (lk *Linker) refreshLSHCandidates() {
+	lk.candIndex.Update(lk.lshDirtyE, lk.lshDirtyI)
+	clear(lk.lshDirtyE)
+	clear(lk.lshDirtyI)
+	// Pairs is never nil: zero survivors must stay distinguishable from
+	// "LSH disabled", where a nil candidate set means brute force.
+	lk.candidates = lk.candIndex.Pairs()
+	st := lk.candIndex.Stats()
 	lk.lshStats = &LSHStats{
 		SignatureLen: st.SignatureLen,
 		Bands:        st.Bands,
@@ -297,26 +297,62 @@ func (lk *Linker) refreshLSHCandidates() {
 	}
 }
 
+// CandidateIndexStats reports the state of the incremental LSH candidate
+// index: maintained signatures, bucket occupancy, candidate count, and
+// the dirty-entity count, rebuild flag and wall-clock duration of the
+// most recent index update. It is field-identical to candidates.Stats
+// (see that type for per-field docs) so the snapshot is a plain type
+// conversion rather than a hand-maintained copy.
+type CandidateIndexStats struct {
+	SignatureLen int
+	Bands        int
+	Rows         int
+	NumBuckets   int
+	Epoch        uint64
+	SignaturesE  int
+	SignaturesI  int
+	Buckets      int
+	Memberships  int
+	Occupancy    float64
+	Candidates   int64
+	LastDirty    int
+	LastRebuild  bool
+	LastUpdate   time.Duration
+}
+
+// CandidateIndexStats returns the incremental candidate index snapshot,
+// or nil when LSH is disabled. Not safe concurrently with Run or Add.
+func (lk *Linker) CandidateIndexStats() *CandidateIndexStats {
+	if lk.candIndex == nil {
+		return nil
+	}
+	st := CandidateIndexStats(lk.candIndex.Stats())
+	return &st
+}
+
 // AddE ingests new records of the first dataset into the prepared linker,
 // updating histories, IDF statistics and (lazily) the LSH candidates. The
 // next Run reflects the additions. Incremental adds bypass the MinRecords
 // filter applied at construction time; callers streaming sparse entities
 // should batch until entities have enough records to be linkable.
 // Not safe concurrently with Run or Score.
-func (lk *Linker) AddE(recs ...Record) { lk.add(lk.storeE, lk.sigStoreE, recs) }
+func (lk *Linker) AddE(recs ...Record) { lk.add(lk.storeE, lk.sigStoreE, lk.lshDirtyE, recs) }
 
 // AddI ingests new records of the second dataset; see AddE.
-func (lk *Linker) AddI(recs ...Record) { lk.add(lk.storeI, lk.sigStoreI, recs) }
+func (lk *Linker) AddI(recs ...Record) { lk.add(lk.storeI, lk.sigStoreI, lk.lshDirtyI, recs) }
 
-func (lk *Linker) add(store, sigStore *history.Store, recs []Record) {
+func (lk *Linker) add(store, sigStore *history.Store, dirty map[EntityID]struct{}, recs []Record) {
 	for _, r := range recs {
 		store.Add(r)
 		if sigStore != nil && sigStore != store {
 			sigStore.Add(r)
 		}
-	}
-	if len(recs) > 0 && lk.cfg.LSH != nil {
-		lk.lshDirty = true
+		if dirty != nil {
+			// LSH enabled: remember which entities the next candidate
+			// refresh must re-sign (the index skips any whose history
+			// version turns out unchanged).
+			dirty[r.Entity] = struct{}{}
+		}
 	}
 }
 
@@ -369,7 +405,7 @@ func (lk *Linker) CandidatePairs() []lsh.Pair {
 // candidate set if incremental adds left it stale; not safe concurrently
 // with Run.
 func (lk *Linker) NumCandidatePairs() int64 {
-	if lk.lshDirty {
+	if lk.lshStale() {
 		lk.refreshLSHCandidates()
 	}
 	if lk.candidates != nil {
@@ -396,7 +432,7 @@ func (lk *Linker) Precompile() {
 // single-linker pipeline. The returned Stats carry a private LSHStats
 // copy, so a later refresh never mutates results a caller still holds.
 func (lk *Linker) RunEdges() ([]Link, Stats) {
-	if lk.lshDirty {
+	if lk.lshStale() {
 		lk.refreshLSHCandidates()
 	}
 	// Refresh the compiled read path once, single-threaded, so the scoring

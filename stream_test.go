@@ -168,3 +168,60 @@ func TestIncrementalNewEntityAppears(t *testing.T) {
 		t.Errorf("streamed pair e3-i3 not linked: %v", second.Links)
 	}
 }
+
+// TestCandidateIndexIncrementalOnLinker verifies the Linker maintains its
+// LSH candidate set through the incremental index: in-grid churn takes the
+// delta path (epoch stable, only touched entities re-signed), range growth
+// rebuilds, and LSH-disabled linkers report no index at all.
+func TestCandidateIndexIncrementalOnLinker(t *testing.T) {
+	ground := GenerateCab(CabOptions{NumTaxis: 20, Days: 2, MeanRecordIntervalSec: 420, Seed: 65})
+	w := SampleWorkload(&ground, SampleOptions{
+		IntersectionRatio: 0.5, InclusionProbE: 0.7, InclusionProbI: 0.7, Seed: 66,
+	})
+	cfg := Defaults()
+	cfg.LSH = &LSHConfig{Threshold: 0.2, StepWindows: 48, SpatialLevel: 12, NumBuckets: 1 << 14}
+	lk, err := NewLinker(w.E, w.I, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk.Run()
+	ix := lk.CandidateIndexStats()
+	if ix == nil {
+		t.Fatal("no candidate-index stats with LSH enabled")
+	}
+	if ix.Epoch != 1 || ix.SignaturesE == 0 || ix.SignaturesI == 0 {
+		t.Fatalf("index after construction: %+v", ix)
+	}
+
+	// Re-observe one entity inside the existing time range: a delta update.
+	target := w.E.Records[len(w.E.Records)/2]
+	target.Unix += 30
+	lk.AddE(target)
+	lk.Run()
+	ix = lk.CandidateIndexStats()
+	if ix.Epoch != 1 || ix.LastRebuild {
+		t.Fatalf("in-range ingest forced an epoch rebuild: %+v", ix)
+	}
+	if ix.LastDirty != 1 {
+		t.Fatalf("LastDirty = %d after a one-entity burst, want 1", ix.LastDirty)
+	}
+
+	// A record far past the range grows the signature grid: epoch rebuild.
+	_, hi, _ := w.E.TimeRange()
+	late := w.E.Records[0]
+	late.Unix = hi + 6*86400
+	lk.AddE(late)
+	lk.Run()
+	ix = lk.CandidateIndexStats()
+	if ix.Epoch != 2 || !ix.LastRebuild {
+		t.Fatalf("range growth did not rebuild the index: %+v", ix)
+	}
+
+	plain, err := NewLinker(w.E, w.I, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CandidateIndexStats() != nil {
+		t.Fatal("LSH-disabled linker reported candidate-index stats")
+	}
+}
