@@ -345,9 +345,13 @@ func BenchmarkLinkerScorePair(b *testing.B) {
 	}
 }
 
-// BenchmarkRunEdgesLSH measures repeated edge scoring over a prepared
+// BenchmarkRunEdgesLSH measures repeated RunEdges over a prepared, clean
 // linker with the LSH filter enabled — the hot loop of a relinking service
-// shard (no matching/thresholding, no history builds).
+// shard (no matching/thresholding, no history builds). Since the edge
+// store landed, a clean rerun retains every scored pair, so this measures
+// the fixed per-run overhead of the incremental path; see
+// BenchmarkRelinkIncrementalDirtyBurst / BenchmarkRelinkFullRescore
+// (relink_bench_test.go) for the dirty-burst scoring costs.
 func BenchmarkRunEdgesLSH(b *testing.B) {
 	w := benchWorkload(b, 24)
 	cfg := slim.Defaults()

@@ -171,6 +171,21 @@ func main() {
 	// the serving address. Both packages register on the default mux.
 	if *debugAddr != "" {
 		expvar.Publish("slim_engine", expvar.Func(func() any { return eng.Stats() }))
+		// slim_relink is the incremental-savings odometer: cumulative
+		// pair-level delta counters (retained = scoring work avoided) plus
+		// the short-circuited fully-clean relinks, kept as a small flat map
+		// so dashboards can scrape it without digging through slim_engine.
+		expvar.Publish("slim_relink", expvar.Func(func() any {
+			st := eng.Stats()
+			return map[string]uint64{
+				"pairs_rescored_total":  st.EdgeRescoredTotal,
+				"pairs_retained_total":  st.EdgeRetainedTotal,
+				"pairs_dropped_total":   st.EdgeDroppedTotal,
+				"runs_short_circuited":  st.RunsShortCircuited,
+				"runs_total":            st.Runs,
+				"dirty_shards_last_run": uint64(st.DirtyShardsLastRun),
+			}
+		}))
 		if store != nil {
 			expvar.Publish("slim_storage", expvar.Func(func() any { return store.Stats() }))
 		}

@@ -1,0 +1,205 @@
+package slim
+
+import (
+	"slices"
+	"time"
+
+	"slim/internal/candidates"
+	"slim/internal/lsh"
+)
+
+// EdgeStoreStats reports the state of a Linker's incremental edge store
+// and the work profile of its most recent update. The headline ratio is
+// Retained vs Rescored: retained pairs kept their cached score without
+// touching the scorer, which is exactly the work an incremental relink
+// saves over the full rescan it replaced.
+type EdgeStoreStats struct {
+	// Pairs is the number of retained scored edges (candidate pairs with a
+	// positive score) — the store's state size.
+	Pairs int64
+	// Epoch counts full rescores: 1 after the first run, bumped every time
+	// an IDF-epoch or grid change invalidated every cached score.
+	Epoch uint64
+	// Retained / Rescored / Dropped describe the last update: candidate
+	// pairs kept with their cached score, pairs (re)scored, and edges
+	// removed from the store (candidate-set removals plus pairs whose
+	// fresh score was no longer positive).
+	Retained int64
+	Rescored int64
+	Dropped  int64
+	// FullRescore reports whether the last update was an epoch rebuild.
+	FullRescore bool
+	// LastUpdate is the wall-clock duration of the last update (scoring,
+	// store maintenance and edge materialization; excludes matching).
+	LastUpdate time.Duration
+}
+
+// edgeStore is the maintained pair→score state behind Linker.RunEdges.
+// Where scoring used to be per-run output (every candidate rescanned on
+// every run), the store keeps the scored edges alive between runs and
+// updates them by delta: rescore the added/dirty pairs, drop the removed
+// ones, keep the rest untouched.
+//
+// Soundness mirrors the epoch discipline of the compiled scoring views
+// (history/compiled.go) and the candidate index (internal/candidates):
+// a pair's score is a pure function of its two histories, the similarity
+// parameters, and the stores' dataset-level statistics (IDF weights and
+// the average history size). The latter are versioned by history.Store's
+// IDF epoch — new bin, new entity, SetIDFTotalEntities change — so while
+// both epochs stand still, a retained edge's score is bit-identical to
+// what a rescore would produce, and any epoch movement forces a full
+// rescore (amortized exactly like candidate-index rebuilds: dataset-level
+// shifts grow ever rarer as a feed ages, while per-entity churn never
+// stops).
+type edgeStore struct {
+	built bool
+	// epochE / epochI are the history-store IDF epochs the retained scores
+	// were computed under; any movement invalidates them all.
+	epochE, epochI uint64
+
+	// scores holds every candidate pair with a positive score.
+	scores map[lsh.Pair]float64
+	// links caches the sorted materialization of scores; linksStale marks
+	// it outdated.
+	links      []Link
+	linksStale bool
+
+	// Pending work accumulated between runs: pairs to (re)score, pairs to
+	// drop, and a forced-full flag (set on candidate-index rebuilds as
+	// defense in depth — the epoch check already catches every known
+	// score-shifting change).
+	pendFull    bool
+	pendRescore map[lsh.Pair]struct{}
+	pendRemoved map[lsh.Pair]struct{}
+
+	fullRescores                            uint64
+	lastRetained, lastRescored, lastDropped int64
+	lastFull                                bool
+	lastUpdate                              time.Duration
+}
+
+func newEdgeStore() edgeStore {
+	return edgeStore{
+		scores:      make(map[lsh.Pair]float64),
+		pendRescore: make(map[lsh.Pair]struct{}),
+		pendRemoved: make(map[lsh.Pair]struct{}),
+	}
+}
+
+// mergeDelta folds one candidate-index Delta into the pending work set.
+// Later deltas win: a pair removed after being queued for rescore is
+// dropped, and vice versa, so the pending sets always describe the net
+// transition from the store's last synced state to the current one.
+func (es *edgeStore) mergeDelta(d candidates.Delta) {
+	if d.Rebuilt {
+		es.pendFull = true
+	}
+	for _, p := range d.Removed {
+		delete(es.pendRescore, p)
+		es.pendRemoved[p] = struct{}{}
+	}
+	for _, p := range d.Added {
+		delete(es.pendRemoved, p)
+		es.pendRescore[p] = struct{}{}
+	}
+	for _, p := range d.Dirty {
+		delete(es.pendRemoved, p)
+		es.pendRescore[p] = struct{}{}
+	}
+}
+
+// resetFull replaces the whole store with a freshly scored edge set (the
+// full-rescore path). edges must be sorted in canonical (U, V) order; the
+// links cache adopts it directly.
+func (es *edgeStore) resetFull(edges []Link) {
+	clear(es.scores)
+	for _, e := range edges {
+		es.scores[lsh.Pair{U: e.U, V: e.V}] = e.Score
+	}
+	es.links = edges
+	es.linksStale = false
+	es.pendFull = false
+	clear(es.pendRescore)
+	clear(es.pendRemoved)
+	es.fullRescores++
+	es.lastFull = true
+}
+
+// apply performs one delta update: drop the pending removals, then install
+// the fresh scores of the rescored pairs (deleting pairs that scored
+// non-positive). It returns how many edges were dropped from the store.
+func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64) (dropped int64) {
+	for p := range es.pendRemoved {
+		if _, ok := es.scores[p]; ok {
+			delete(es.scores, p)
+			es.linksStale = true
+			dropped++
+		}
+	}
+	for i, p := range pairs {
+		s := scores[i]
+		old, had := es.scores[p]
+		if s > 0 {
+			if !had || old != s {
+				es.scores[p] = s
+				es.linksStale = true
+			}
+		} else if had {
+			delete(es.scores, p)
+			es.linksStale = true
+			dropped++
+		}
+	}
+	clear(es.pendRescore)
+	clear(es.pendRemoved)
+	es.lastFull = false
+	return dropped
+}
+
+// materialize returns the retained edges sorted by (U, V) — the exact
+// order the per-run scoring path used to produce — rebuilding the cache
+// only when the edge set changed. The returned slice is shared across
+// runs until the next change; callers must not modify it.
+func (es *edgeStore) materialize() []Link {
+	if es.linksStale {
+		links := make([]Link, 0, len(es.scores))
+		for p, s := range es.scores {
+			links = append(links, Link{U: p.U, V: p.V, Score: s})
+		}
+		slices.SortFunc(links, func(a, b Link) int {
+			if a.U != b.U {
+				if a.U < b.U {
+					return -1
+				}
+				return 1
+			}
+			if a.V < b.V {
+				return -1
+			}
+			if a.V > b.V {
+				return 1
+			}
+			return 0
+		})
+		es.links = links
+		es.linksStale = false
+	}
+	if es.links == nil {
+		es.links = []Link{}
+	}
+	return es.links
+}
+
+// statsSnapshot returns a fresh stats copy (safe for callers to retain
+// across later runs).
+func (es *edgeStore) statsSnapshot() *EdgeStoreStats {
+	return &EdgeStoreStats{
+		Pairs:       int64(len(es.scores)),
+		Epoch:       es.fullRescores,
+		Retained:    es.lastRetained,
+		Rescored:    es.lastRescored,
+		Dropped:     es.lastDropped,
+		FullRescore: es.lastFull,
+		LastUpdate:  es.lastUpdate,
+	}
+}

@@ -76,6 +76,60 @@ func main() {
 		}
 		fmt.Printf("  %s <-> %s  %.4f\n", l.U, l.V, l.Score)
 	}
+
+	// The service maintains its scored edges and LSH candidates as state:
+	// show the incremental blocks after the bulk load, then re-observe a
+	// handful of existing records (a ~1% weight-only burst) and relink —
+	// the second set of stats makes the savings visible: almost every pair
+	// retained, only the dirty entities' pairs rescored.
+	printIncrementalStats(*addr, "after bulk load")
+	burst := w.E.Records[:min(100, len(w.E.Records))]
+	ingest(*addr, "e", burst)
+	post(*addr+"/v1/link", nil, &run)
+	fmt.Printf("relinked after re-observing %d records in %.1fms\n", len(burst), run.ElapsedMs)
+	printIncrementalStats(*addr, "after incremental burst")
+}
+
+// printIncrementalStats fetches /v1/stats and prints the edge-store and
+// candidate-index blocks (the incremental-relink observability surface).
+func printIncrementalStats(addr, when string) {
+	var stats struct {
+		DirtyShardsLastRun int    `json:"dirty_shards_last_run"`
+		RunsShortCircuited uint64 `json:"runs_short_circuited"`
+		EdgeStore          *struct {
+			Pairs           int64   `json:"pairs"`
+			Epoch           uint64  `json:"epoch"`
+			RetainedLast    int64   `json:"retained_last"`
+			RescoredLast    int64   `json:"rescored_last"`
+			DroppedLast     int64   `json:"dropped_last"`
+			FullRescoreLast bool    `json:"full_rescore_last"`
+			LastUpdateMs    float64 `json:"last_update_ms"`
+		} `json:"edge_store"`
+		CandidateIndex *struct {
+			Candidates        int64   `json:"candidates"`
+			SignaturesE       int     `json:"signatures_e"`
+			SignaturesI       int     `json:"signatures_i"`
+			Epoch             uint64  `json:"epoch"`
+			DirtyEntitiesLast int     `json:"dirty_entities_last"`
+			LastRebuild       bool    `json:"last_rebuild"`
+			LastUpdateMs      float64 `json:"last_update_ms"`
+		} `json:"candidate_index"`
+	}
+	get(addr + "/v1/stats")(&stats)
+	fmt.Printf("%s (dirty shards last run: %d, short-circuited runs: %d)\n",
+		when, stats.DirtyShardsLastRun, stats.RunsShortCircuited)
+	if es := stats.EdgeStore; es != nil {
+		fmt.Printf("  edge_store: %d pairs held, last relink retained %d / rescored %d / dropped %d (full=%v) in %.2fms\n",
+			es.Pairs, es.RetainedLast, es.RescoredLast, es.DroppedLast, es.FullRescoreLast, es.LastUpdateMs)
+	} else {
+		fmt.Println("  edge_store: (no relink yet)")
+	}
+	if ci := stats.CandidateIndex; ci != nil {
+		fmt.Printf("  candidate_index: %d candidates over %d+%d signatures, last update re-signed %d entities (rebuild=%v) in %.2fms\n",
+			ci.Candidates, ci.SignaturesE, ci.SignaturesI, ci.DirtyEntitiesLast, ci.LastRebuild, ci.LastUpdateMs)
+	} else {
+		fmt.Println("  candidate_index: (lsh disabled; start slimd with -lsh to enable the filter)")
+	}
 }
 
 // ingest streams one dataset in batches of 500 records.

@@ -65,6 +65,33 @@ type Stats struct {
 	LastUpdate  time.Duration
 }
 
+// Delta reports how one Update changed the candidate set, in the exact
+// set-difference sense: Added/Removed are the pairs that entered/left the
+// set (Pairs() after == Pairs() before − Removed + Added), and Dirty are
+// the pairs that stayed candidates but have at least one endpoint whose
+// signature was actually recomputed this Update — i.e. an endpoint whose
+// history changed, so any score derived from the pair is stale. The three
+// slices are disjoint, sorted in canonical (U, V) order, and freshly
+// allocated per Update (callers may retain them).
+//
+// Delta is what makes scored edges maintainable as state rather than
+// per-run output: a caller holding pair→score only has to rescore
+// Added ∪ Dirty and drop Removed; every other pair's endpoints are
+// untouched histories, so its score is unchanged by construction (see the
+// root package's edge store). Rebuilt marks an epoch rebuild; the delta is
+// still exact (computed by diffing the old and new candidate sets).
+type Delta struct {
+	Added   []lsh.Pair
+	Removed []lsh.Pair
+	Dirty   []lsh.Pair
+	Rebuilt bool
+}
+
+// Empty reports whether the delta carries no work at all.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Dirty) == 0 && !d.Rebuilt
+}
+
 // entitySig is the maintained filter state of one entity: its signature
 // over the current grid, the bucket hash of each band (hasBand false for
 // placeholder-only bands, which are never hashed or bucketed), and the
@@ -118,6 +145,16 @@ type Index struct {
 	scratchHash []uint64
 	scratchOK   []bool
 
+	// Per-Update delta tracking (cleared at the start of every Update).
+	// touched records, for every pair whose collision count moved this
+	// Update, whether it was a candidate before the Update; changedE and
+	// changedI record the entities whose signatures were actually
+	// recomputed; dirtySeen dedupes Dirty pairs reached through several
+	// bands or both endpoints.
+	touched            map[lsh.Pair]bool
+	changedE, changedI map[model.EntityID]struct{}
+	dirtySeen          map[lsh.Pair]struct{}
+
 	lastDirty   int
 	lastRebuild bool
 	lastUpdate  time.Duration
@@ -133,25 +170,35 @@ func New(storeE, storeI *history.Store, p lsh.Params) *Index {
 		sigE:      make(map[model.EntityID]*entitySig),
 		sigI:      make(map[model.EntityID]*entitySig),
 		paircount: make(map[lsh.Pair]int32),
+		touched:   make(map[lsh.Pair]bool),
+		changedE:  make(map[model.EntityID]struct{}),
+		changedI:  make(map[model.EntityID]struct{}),
+		dirtySeen: make(map[lsh.Pair]struct{}),
 	}
 }
 
-// Update brings the index up to date with its stores. dirtyE and dirtyI
-// name the entities whose histories may have changed since the previous
-// Update (nil on the first call; entities whose history version is
-// unchanged are skipped, so over-reporting is harmless — under-reporting
-// is not). When the union window range still fits the current grid the
-// index applies per-entity deltas; otherwise it bumps the epoch and
-// rebuilds from scratch.
-func (x *Index) Update(dirtyE, dirtyI map[model.EntityID]struct{}) {
+// Update brings the index up to date with its stores and returns the
+// exact Delta of the candidate set (see Delta). dirtyE and dirtyI name the
+// entities whose histories may have changed since the previous Update
+// (nil on the first call; entities whose history version is unchanged are
+// skipped, so over-reporting is harmless — under-reporting is not). When
+// the union window range still fits the current grid the index applies
+// per-entity deltas; otherwise it bumps the epoch and rebuilds from
+// scratch (Delta.Rebuilt, with Added/Removed diffed against the previous
+// candidate set so the delta stays exact).
+func (x *Index) Update(dirtyE, dirtyI map[model.EntityID]struct{}) Delta {
 	start := time.Now()
+	clear(x.touched)
+	clear(x.changedE)
+	clear(x.changedI)
+	var d Delta
 	minE, maxE, okE := x.storeE.WindowRange()
 	minI, maxI, okI := x.storeI.WindowRange()
 	if !okE || !okI {
 		// Batch semantics: no candidates until both sides hold data. Both
 		// stores only ever grow, so nothing can have been built yet.
 		x.lastDirty, x.lastRebuild, x.lastUpdate = 0, false, time.Since(start)
-		return
+		return d
 	}
 	minW, maxW := minE, maxE
 	if minI < minW {
@@ -162,7 +209,7 @@ func (x *Index) Update(dirtyE, dirtyI map[model.EntityID]struct{}) {
 	}
 	sigLen := lsh.SignatureLength(minW, maxW, x.params.StepWindows)
 	if sigLen != x.banding.SigLen || minW != x.gridMin {
-		x.rebuild(minW, maxW, sigLen)
+		d = x.rebuild(minW, maxW, sigLen)
 	} else {
 		// The grid anchor and length are unchanged; a larger gridMax only
 		// moves the (semantically inert) clamp of the final query window,
@@ -173,13 +220,95 @@ func (x *Index) Update(dirtyE, dirtyI map[model.EntityID]struct{}) {
 		n += x.applySide(dirtyE, true)
 		n += x.applySide(dirtyI, false)
 		x.lastDirty, x.lastRebuild = n, false
+		d = x.deltaFromTouches()
 	}
 	x.lastUpdate = time.Since(start)
+	return d
+}
+
+// deltaFromTouches classifies this Update's pair-count movements (recorded
+// by bumpPair in x.touched) into Added/Removed, then walks the recomputed
+// entities' current band buckets to collect the kept-but-dirty pairs. The
+// walk costs O(current collisions of the recomputed entities) — the same
+// order of work the bucket updates themselves just paid.
+func (x *Index) deltaFromTouches() Delta {
+	var d Delta
+	for p, was := range x.touched {
+		is := x.paircount[p] > 0
+		switch {
+		case !was && is:
+			d.Added = append(d.Added, p)
+		case was && !is:
+			d.Removed = append(d.Removed, p)
+		}
+	}
+	clear(x.dirtySeen)
+	addDirty := func(p lsh.Pair) {
+		// Kept pairs only: currently a candidate and not newly added
+		// (a touched pair whose pre-Update membership was false is Added).
+		if x.paircount[p] <= 0 {
+			return
+		}
+		if was, ok := x.touched[p]; ok && !was {
+			return
+		}
+		if _, ok := x.dirtySeen[p]; ok {
+			return
+		}
+		x.dirtySeen[p] = struct{}{}
+		d.Dirty = append(d.Dirty, p)
+	}
+	for id := range x.changedE {
+		x.visitPartners(id, true, func(v model.EntityID) { addDirty(lsh.Pair{U: id, V: v}) })
+	}
+	for id := range x.changedI {
+		x.visitPartners(id, false, func(u model.EntityID) { addDirty(lsh.Pair{U: u, V: id}) })
+	}
+	lsh.SortPairs(d.Added)
+	lsh.SortPairs(d.Removed)
+	lsh.SortPairs(d.Dirty)
+	return d
+}
+
+// visitPartners calls fn for every opposite-side member currently sharing
+// a band bucket with id (with repeats across bands; callers dedupe).
+func (x *Index) visitPartners(id model.EntityID, isE bool, fn func(model.EntityID)) {
+	sigs := x.sigE
+	if !isE {
+		sigs = x.sigI
+	}
+	es := sigs[id]
+	if es == nil {
+		return
+	}
+	for band := 0; band < x.banding.Bands && band < len(es.hasBand); band++ {
+		if !es.hasBand[band] {
+			continue
+		}
+		bkt := x.buckets[band][es.bandHash[band]]
+		if bkt == nil {
+			continue
+		}
+		members := bkt.i
+		if !isE {
+			members = bkt.e
+		}
+		for _, other := range members {
+			fn(other)
+		}
+	}
 }
 
 // rebuild starts a new epoch: fresh buckets and pair counts, every
-// signature recomputed over the new grid.
-func (x *Index) rebuild(minW, maxW int64, sigLen int) {
+// signature recomputed over the new grid. The returned Delta diffs the new
+// candidate set against the pre-rebuild one (an O(P) pass — rebuilds are
+// already O(everything)), with Dirty restricted to kept pairs that have an
+// endpoint whose history version moved since its previous signature.
+func (x *Index) rebuild(minW, maxW int64, sigLen int) Delta {
+	old := make(map[lsh.Pair]struct{}, len(x.paircount))
+	for p := range x.paircount {
+		old[p] = struct{}{}
+	}
 	x.epoch++
 	x.gridMin, x.gridMax = minW, maxW
 	x.banding = lsh.NewBanding(sigLen, x.params)
@@ -192,25 +321,33 @@ func (x *Index) rebuild(minW, maxW int64, sigLen int) {
 	x.pairsStale = true
 	x.lastRebuild = true
 	x.lastDirty = 0
+	d := Delta{Rebuilt: true}
 	if x.banding.Bands == 0 {
 		// Degenerate geometry (zero-length signatures): mirror the batch
 		// path, which enumerates nothing.
 		clear(x.sigE)
 		clear(x.sigI)
-		return
+		for p := range old {
+			d.Removed = append(d.Removed, p)
+		}
+		lsh.SortPairs(d.Removed)
+		return d
 	}
 
 	// Insert every entity's band hashes. Membership lists are built first
 	// and pair counts accumulated per bucket afterwards, which is the same
 	// O(Σ|bucket_E|·|bucket_I|) enumeration the batch path performs.
-	fill := func(store *history.Store, sigs map[model.EntityID]*entitySig, isE bool) {
+	fill := func(store *history.Store, sigs map[model.EntityID]*entitySig, changed map[model.EntityID]struct{}, isE bool) {
 		for _, id := range store.Entities() {
 			es := sigs[id]
+			h := store.History(id)
 			if es == nil {
 				es = &entitySig{}
 				sigs[id] = es
+				changed[id] = struct{}{}
+			} else if es.version != h.Version() {
+				changed[id] = struct{}{}
 			}
-			h := store.History(id)
 			es.version = h.Version()
 			es.sig = lsh.AppendSignature(es.sig, h, x.params.StepWindows, x.gridMin, x.gridMax, sigLen)
 			es.bandHash = resize(es.bandHash, x.banding.Bands)
@@ -236,8 +373,8 @@ func (x *Index) rebuild(minW, maxW int64, sigLen int) {
 			x.lastDirty++
 		}
 	}
-	fill(x.storeE, x.sigE, true)
-	fill(x.storeI, x.sigI, false)
+	fill(x.storeE, x.sigE, x.changedE, true)
+	fill(x.storeI, x.sigI, x.changedI, false)
 
 	for _, byHash := range x.buckets {
 		for _, bkt := range byHash {
@@ -248,6 +385,26 @@ func (x *Index) rebuild(minW, maxW int64, sigLen int) {
 			}
 		}
 	}
+
+	for p := range x.paircount {
+		if _, was := old[p]; !was {
+			d.Added = append(d.Added, p)
+			continue
+		}
+		delete(old, p)
+		_, cu := x.changedE[p.U]
+		_, cv := x.changedI[p.V]
+		if cu || cv {
+			d.Dirty = append(d.Dirty, p)
+		}
+	}
+	for p := range old {
+		d.Removed = append(d.Removed, p)
+	}
+	lsh.SortPairs(d.Added)
+	lsh.SortPairs(d.Removed)
+	lsh.SortPairs(d.Dirty)
+	return d
 }
 
 // applySide delta-updates one side's dirty entities and returns how many
@@ -260,6 +417,10 @@ func (x *Index) applySide(dirty map[model.EntityID]struct{}, isE bool) int {
 	if !isE {
 		store, sigs = x.storeI, x.sigI
 	}
+	changed := x.changedE
+	if !isE {
+		changed = x.changedI
+	}
 	n := 0
 	for id := range dirty {
 		h := store.History(id)
@@ -270,6 +431,7 @@ func (x *Index) applySide(dirty map[model.EntityID]struct{}, isE bool) int {
 		if es != nil && es.version == h.Version() {
 			continue // marked dirty but unchanged since its last compute
 		}
+		changed[id] = struct{}{}
 		fresh := es == nil
 		if fresh {
 			es = &entitySig{
@@ -357,9 +519,14 @@ func (x *Index) removeBand(band int, hash uint64, id model.EntityID, isE bool) {
 // changes (a count moving from or to zero) stale the sorted pair cache:
 // count-only churn — an entity hopping between buckets it already shares
 // with a counterpart in other bands — leaves the candidate set untouched
-// and must not trigger an O(P log P) re-materialization.
+// and must not trigger an O(P log P) re-materialization. The first touch
+// of a pair per Update records its pre-Update membership, the raw material
+// of Delta.Added/Removed.
 func (x *Index) bumpPair(p lsh.Pair, d int32) {
 	old := x.paircount[p]
+	if _, seen := x.touched[p]; !seen {
+		x.touched[p] = old > 0
+	}
 	c := old + d
 	if c <= 0 {
 		if old > 0 {

@@ -79,6 +79,9 @@ type shard struct {
 	// (nil when LSH is disabled), refreshed after every rescore so Stats
 	// can aggregate it without taking runMu.
 	idx atomic.Pointer[slim.CandidateIndexStats]
+	// edge mirrors the shard's edge-store snapshot the same way (nil until
+	// the first rescore).
+	edge atomic.Pointer[slim.EdgeStoreStats]
 }
 
 // pending reports how many ingested records the shard has not yet applied.
@@ -115,6 +118,7 @@ func (sh *shard) rescore(totalE int) {
 	sh.lk.SetTotalEntitiesE(totalE)
 	sh.edges, sh.stats = sh.lk.RunEdges()
 	sh.idx.Store(sh.lk.CandidateIndexStats())
+	sh.edge.Store(sh.stats.EdgeStore)
 	sh.ran.Store(true)
 }
 
@@ -163,6 +167,14 @@ type Engine struct {
 	// re-scored (ingest-driven observability next to the candidate-index
 	// counters).
 	lastDirtyShards atomic.Int64
+	// shortCircuits counts fully-clean Run calls that republished the
+	// cached result without re-matching; the edge* counters accumulate the
+	// relink-delta work of every rescored shard since construction (the
+	// numbers behind the expvar relink counters).
+	shortCircuits atomic.Uint64
+	edgeRescored  atomic.Uint64
+	edgeRetained  atomic.Uint64
+	edgeDropped   atomic.Uint64
 
 	kick   chan struct{}
 	stopCh chan struct{}
@@ -368,6 +380,38 @@ func (e *Engine) Run() slim.Result {
 	}
 	wg.Wait()
 
+	// Fully-clean short-circuit: when no shard has work and a result is
+	// already published, re-matching and re-thresholding the identical
+	// edge set would reproduce it bit for bit — republish it instead. The
+	// version is NOT bumped (the published links did not change), and the
+	// persister is not notified (there is nothing new to checkpoint).
+	allClean := true
+	for _, d := range dirty {
+		allClean = allClean && !d
+	}
+	if allClean {
+		e.mu.Lock()
+		cur := e.cur
+		e.mu.Unlock()
+		if cur != nil {
+			// This run performed no index or edge-store work at all: zero
+			// every mirror's last-* fields (see the equivalent pass on the
+			// normal path) so /v1/stats does not echo an older relink's
+			// work next to runs_short_circuited.
+			e.zeroWorkMirrors(nil)
+			for _, sh := range e.shards {
+				sh.runMu.Unlock()
+			}
+			e.lastDirtyShards.Store(0)
+			e.runs.Add(1)
+			e.shortCircuits.Add(1)
+			e.mu.Lock()
+			e.lastRun = time.Now()
+			e.mu.Unlock()
+			return *cur
+		}
+	}
+
 	// Phase 2: re-score the dirty shards in parallel under the refreshed
 	// global E entity count; clean shards keep their cached edges (scored
 	// under the count at their last rescore — a deliberately stale but
@@ -390,19 +434,22 @@ func (e *Engine) Run() slim.Result {
 	}
 	wg.Wait()
 	e.lastDirtyShards.Store(int64(nDirty))
-	// Clean shards performed no index update this run: zero the last-*
-	// fields of their mirrors so the aggregated CandidateIndex reports
-	// this relink's index work, not a stale echo of an older one (state
-	// fields — signatures, buckets, candidates — stay as-is).
+	// Clean shards performed no index or edge-store update this run: zero
+	// the last-* fields of their mirrors so the aggregated CandidateIndex
+	// and EdgeStore blocks report this relink's work, not a stale echo of
+	// an older one (state fields — signatures, buckets, candidates,
+	// retained pairs — stay as-is).
+	e.zeroWorkMirrors(dirty)
+	// Accumulate the relink-delta counters of the shards this run actually
+	// re-scored (the cumulative numbers behind /debug/vars).
 	for s, sh := range e.shards {
-		if dirty[s] {
+		if !dirty[s] || sh.stats.EdgeStore == nil {
 			continue
 		}
-		if p := sh.idx.Load(); p != nil && (p.LastDirty != 0 || p.LastRebuild || p.LastUpdate != 0) {
-			cp := *p
-			cp.LastDirty, cp.LastRebuild, cp.LastUpdate = 0, false, 0
-			sh.idx.Store(&cp)
-		}
+		es := sh.stats.EdgeStore
+		e.edgeRescored.Add(uint64(es.Rescored))
+		e.edgeRetained.Add(uint64(es.Retained))
+		e.edgeDropped.Add(uint64(es.Dropped))
 	}
 
 	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
@@ -430,6 +477,23 @@ func (e *Engine) Run() slim.Result {
 					stats.LSH.Bands = sh.stats.LSH.Bands
 					stats.LSH.Rows = sh.stats.LSH.Rows
 				}
+			}
+		}
+		if sh.stats.EdgeStore != nil {
+			if stats.EdgeStore == nil {
+				stats.EdgeStore = &slim.EdgeStoreStats{}
+			}
+			// State fields (Pairs, Epoch) describe the published result and
+			// sum over every shard; the work fields sum only over the shards
+			// this run actually re-scored, mirroring the comparison counters.
+			stats.EdgeStore.Pairs += sh.stats.EdgeStore.Pairs
+			stats.EdgeStore.Epoch += sh.stats.EdgeStore.Epoch
+			if dirty[s] {
+				stats.EdgeStore.Retained += sh.stats.EdgeStore.Retained
+				stats.EdgeStore.Rescored += sh.stats.EdgeStore.Rescored
+				stats.EdgeStore.Dropped += sh.stats.EdgeStore.Dropped
+				stats.EdgeStore.FullRescore = stats.EdgeStore.FullRescore || sh.stats.EdgeStore.FullRescore
+				stats.EdgeStore.LastUpdate += sh.stats.EdgeStore.LastUpdate
 			}
 		}
 	}
@@ -533,6 +597,21 @@ type Stats struct {
 	// is the summed per-shard index time of the last relink); geometry
 	// fields and Epoch come from the widest shard grid.
 	CandidateIndex *slim.CandidateIndexStats
+	// EdgeStore aggregates the shards' incremental edge-store snapshots
+	// (nil before the first rescore). Pairs and Epoch sum over every
+	// shard; the per-run work fields (Retained/Rescored/Dropped/
+	// FullRescore/LastUpdate) describe the latest relink — clean shards
+	// contribute zeros, so the block reports that relink's actual work.
+	EdgeStore *slim.EdgeStoreStats
+	// EdgeRescoredTotal / EdgeRetainedTotal / EdgeDroppedTotal accumulate
+	// the relink-delta work across every rescored shard since
+	// construction; RunsShortCircuited counts fully-clean Run calls that
+	// republished the cached result without re-matching. These are the
+	// service's incremental-savings odometer (exported over expvar).
+	EdgeRescoredTotal  uint64
+	EdgeRetainedTotal  uint64
+	EdgeDroppedTotal   uint64
+	RunsShortCircuited uint64
 	// Runs and Version count completed relinks and published results.
 	Runs    uint64
 	Version uint64
@@ -565,6 +644,10 @@ func (e *Engine) Stats() Stats {
 		IngestedI:          e.ingestedI.Load(),
 		Runs:               e.runs.Load(),
 		DirtyShardsLastRun: int(e.lastDirtyShards.Load()),
+		EdgeRescoredTotal:  e.edgeRescored.Load(),
+		EdgeRetainedTotal:  e.edgeRetained.Load(),
+		EdgeDroppedTotal:   e.edgeDropped.Load(),
+		RunsShortCircuited: e.shortCircuits.Load(),
 	}
 	for s, sh := range e.shards {
 		pending := sh.pending()
@@ -578,6 +661,9 @@ func (e *Engine) Stats() Stats {
 		}
 		if ix := sh.idx.Load(); ix != nil {
 			st.CandidateIndex = mergeIndexStats(st.CandidateIndex, ix)
+		}
+		if es := sh.edge.Load(); es != nil {
+			st.EdgeStore = mergeEdgeStats(st.EdgeStore, es)
 		}
 	}
 	if ci := st.CandidateIndex; ci != nil && ci.Buckets > 0 {
@@ -620,6 +706,47 @@ func mergeIndexStats(agg, ix *slim.CandidateIndexStats) *slim.CandidateIndexStat
 	agg.LastDirty += ix.LastDirty
 	agg.LastRebuild = agg.LastRebuild || ix.LastRebuild
 	agg.LastUpdate += ix.LastUpdate
+	return agg
+}
+
+// zeroWorkMirrors zeroes the last-relink work fields of every shard's
+// index and edge-store stat mirrors except the shards marked dirty (nil
+// dirty = zero them all, the fully-clean short-circuit case). State
+// fields — signatures, buckets, candidates, retained pairs — stay as-is.
+// Callers hold the shards' runMu.
+func (e *Engine) zeroWorkMirrors(dirty []bool) {
+	for s, sh := range e.shards {
+		if dirty != nil && dirty[s] {
+			continue
+		}
+		if p := sh.idx.Load(); p != nil && (p.LastDirty != 0 || p.LastRebuild || p.LastUpdate != 0) {
+			cp := *p
+			cp.LastDirty, cp.LastRebuild, cp.LastUpdate = 0, false, 0
+			sh.idx.Store(&cp)
+		}
+		if p := sh.edge.Load(); p != nil && (p.Rescored != 0 || p.Retained != 0 || p.Dropped != 0 || p.FullRescore || p.LastUpdate != 0) {
+			cp := *p
+			cp.Rescored, cp.Retained, cp.Dropped, cp.FullRescore, cp.LastUpdate = 0, 0, 0, false, 0
+			sh.edge.Store(&cp)
+		}
+	}
+}
+
+// mergeEdgeStats folds one shard's edge-store snapshot into the aggregate
+// (see Stats.EdgeStore for the summation rules). Snapshot pointers are
+// never mutated — agg is a private accumulator.
+func mergeEdgeStats(agg, es *slim.EdgeStoreStats) *slim.EdgeStoreStats {
+	if agg == nil {
+		cp := *es
+		return &cp
+	}
+	agg.Pairs += es.Pairs
+	agg.Epoch += es.Epoch
+	agg.Retained += es.Retained
+	agg.Rescored += es.Rescored
+	agg.Dropped += es.Dropped
+	agg.FullRescore = agg.FullRescore || es.FullRescore
+	agg.LastUpdate += es.LastUpdate
 	return agg
 }
 

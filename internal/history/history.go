@@ -347,6 +347,16 @@ func (s *Store) WindowRange() (minWin, maxWin int64, ok bool) {
 	return s.minWindow, s.maxWindow, true
 }
 
+// Epoch returns the store's IDF-input version: it moves whenever a
+// dataset-level score input changes — a new entity (|U| and the average
+// history size shift), a new time-location bin (bin→entity frequencies and
+// the average history size shift), or a SetIDFTotalEntities change. While
+// the epoch stands still, the score of any pair of unchanged histories is
+// unchanged too: weight-only adds touch exactly the histories they land
+// in. The compiled scoring views (compiled.go) and the root package's
+// incremental edge store both key their invalidation on this counter.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
 // SetIDFTotalEntities overrides the |U| numerator of the IDF (Eq. 3) for
 // stores that hold one hash partition of a larger logical dataset: the
 // bin→entity frequencies in the denominator stay partition-local (the

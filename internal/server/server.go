@@ -319,6 +319,23 @@ type candidateIndexJSON struct {
 	LastUpdateMs      float64 `json:"last_update_ms"`
 }
 
+// edgeStoreJSON is the wire form of the aggregated incremental edge-store
+// statistics: retained/rescored/dropped describe the latest relink, the
+// *_total counters accumulate since boot, and pairs/epoch describe the
+// maintained state (see slim.EdgeStoreStats).
+type edgeStoreJSON struct {
+	Pairs           int64   `json:"pairs"`
+	Epoch           uint64  `json:"epoch"`
+	RetainedLast    int64   `json:"retained_last"`
+	RescoredLast    int64   `json:"rescored_last"`
+	DroppedLast     int64   `json:"dropped_last"`
+	FullRescoreLast bool    `json:"full_rescore_last"`
+	LastUpdateMs    float64 `json:"last_update_ms"`
+	RetainedTotal   uint64  `json:"retained_total"`
+	RescoredTotal   uint64  `json:"rescored_total"`
+	DroppedTotal    uint64  `json:"dropped_total"`
+}
+
 type statsResponse struct {
 	Shards         int    `json:"shards"`
 	SpatialLevel   int    `json:"spatial_level"`
@@ -329,14 +346,18 @@ type statsResponse struct {
 	PendingRecords int    `json:"pending_records"`
 	DirtyShards    int    `json:"dirty_shards"`
 	// DirtyShardsLastRun counts shards the latest relink re-scored;
-	// CandidateIndex reports the incremental LSH index behind them.
+	// CandidateIndex reports the incremental LSH index behind them and
+	// EdgeStore the incremental scored-edge state; RunsShortCircuited
+	// counts fully-clean relinks that republished the cached result.
 	DirtyShardsLastRun int                 `json:"dirty_shards_last_run"`
+	RunsShortCircuited uint64              `json:"runs_short_circuited"`
 	Runs               uint64              `json:"runs"`
 	Version            uint64              `json:"version"`
 	LastRunUnixMs      int64               `json:"last_run_unix_ms,omitempty"`
 	Links              int                 `json:"links"`
 	Threshold          float64             `json:"threshold"`
 	CandidateIndex     *candidateIndexJSON `json:"candidate_index,omitempty"`
+	EdgeStore          *edgeStoreJSON      `json:"edge_store,omitempty"`
 	Storage            *storageStatsJSON   `json:"storage,omitempty"`
 }
 
@@ -352,6 +373,7 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		PendingRecords:     st.PendingRecords,
 		DirtyShards:        st.DirtyShards,
 		DirtyShardsLastRun: st.DirtyShardsLastRun,
+		RunsShortCircuited: st.RunsShortCircuited,
 		Runs:               st.Runs,
 		Version:            st.Version,
 		Links:              st.Links,
@@ -376,6 +398,20 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 			DirtyEntitiesLast: ci.LastDirty,
 			LastRebuild:       ci.LastRebuild,
 			LastUpdateMs:      float64(ci.LastUpdate.Microseconds()) / 1000,
+		}
+	}
+	if es := st.EdgeStore; es != nil {
+		resp.EdgeStore = &edgeStoreJSON{
+			Pairs:           es.Pairs,
+			Epoch:           es.Epoch,
+			RetainedLast:    es.Retained,
+			RescoredLast:    es.Rescored,
+			DroppedLast:     es.Dropped,
+			FullRescoreLast: es.FullRescore,
+			LastUpdateMs:    float64(es.LastUpdate.Microseconds()) / 1000,
+			RetainedTotal:   st.EdgeRetainedTotal,
+			RescoredTotal:   st.EdgeRescoredTotal,
+			DroppedTotal:    st.EdgeDroppedTotal,
 		}
 	}
 	if s.store != nil {

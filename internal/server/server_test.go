@@ -409,6 +409,93 @@ func TestServerIngestFailsClosed(t *testing.T) {
 	}
 }
 
+// TestServerLinksPaginationStableAcrossRelinks: paging through /v1/links
+// must be deterministic — identical relinks (including the fully-clean
+// short-circuit path) keep the link order stable, so a client walking
+// pages while relinks fire sees no duplicates and no gaps, and the
+// concatenated pages equal the unpaged listing exactly.
+func TestServerLinksPaginationStableAcrossRelinks(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	ground := slim.GenerateCab(slim.CabOptions{
+		NumTaxis: 16, Days: 2, MeanRecordIntervalSec: 420, Seed: 31,
+	})
+	w := slim.SampleWorkload(&ground, slim.SampleOptions{
+		IntersectionRatio: 0.5, InclusionProbE: 0.6, InclusionProbI: 0.6, Seed: 32,
+	})
+	const batch = 500
+	for _, d := range []struct {
+		ds   string
+		recs []slim.Record
+	}{{"e", w.E.Records}, {"i", w.I.Records}} {
+		for i := 0; i < len(d.recs); i += batch {
+			postJSON(t, ts.URL+"/v1/datasets/"+d.ds+"/records",
+				map[string]any{"records": toWire(d.recs[i:min(i+batch, len(d.recs))])})
+		}
+	}
+	postJSON(t, ts.URL+"/v1/link", nil)
+
+	type page struct {
+		Version uint64     `json:"version"`
+		Total   int        `json:"total"`
+		Links   []linkJSON `json:"links"`
+	}
+	var all page
+	getJSON(t, ts.URL+"/v1/links", &all)
+	if all.Total < 4 {
+		t.Fatalf("workload produced only %d links; pagination needs a few pages", all.Total)
+	}
+
+	// Walk the pages twice, firing an identical relink before every fetch
+	// on the second pass.
+	walk := func(relinkBetween bool) []linkJSON {
+		var out []linkJSON
+		const limit = 3
+		for offset := 0; ; offset += limit {
+			if relinkBetween {
+				postJSON(t, ts.URL+"/v1/link", nil)
+			}
+			var p page
+			getJSON(t, fmt.Sprintf("%s/v1/links?limit=%d&offset=%d", ts.URL, limit, offset), &p)
+			if p.Total != all.Total {
+				t.Fatalf("total changed mid-walk: %d -> %d", all.Total, p.Total)
+			}
+			out = append(out, p.Links...)
+			if len(p.Links) < limit {
+				return out
+			}
+		}
+	}
+	for pass, links := range [][]linkJSON{walk(false), walk(true)} {
+		if len(links) != all.Total {
+			t.Fatalf("pass %d: pages concatenated to %d links, want %d (duplicates or gaps)", pass, len(links), all.Total)
+		}
+		for i, l := range links {
+			if l != all.Links[i] {
+				t.Fatalf("pass %d: page item %d = %+v, want %+v", pass, i, l, all.Links[i])
+			}
+		}
+	}
+
+	// The interleaved identical relinks were fully clean: they must have
+	// short-circuited, left the version alone, and surfaced the edge-store
+	// block with retained pairs.
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.RunsShortCircuited == 0 {
+		t.Error("no-op relinks did not short-circuit")
+	}
+	if st.Version != all.Version {
+		t.Errorf("clean relinks bumped the version: %d -> %d", all.Version, st.Version)
+	}
+	if st.EdgeStore == nil || st.EdgeStore.Pairs == 0 || st.EdgeStore.Epoch == 0 {
+		t.Fatalf("edge_store block missing or empty: %+v", st.EdgeStore)
+	}
+	if st.EdgeStore.RescoredTotal == 0 {
+		t.Errorf("edge_store totals not accumulated: %+v", st.EdgeStore)
+	}
+}
+
 // TestServerCandidateIndexStats boots an LSH-enabled engine, streams a
 // burst, and verifies /v1/stats surfaces the aggregated candidate-index
 // metrics (signatures, buckets, dirty entities, last-update time) plus the

@@ -1,0 +1,137 @@
+package slim
+
+import (
+	"slices"
+	"testing"
+	"time"
+)
+
+// relinkFixture builds the standard streaming-relink scenario for the
+// edge-store benchmarks: the datagen Cab workload loaded into a
+// brute-force Linker (every cross pair is a candidate, so scoring cost is
+// undiluted by the LSH filter), warmed with one full Run, plus the E-side
+// records grouped by entity so bursts can re-observe real visits.
+func relinkFixture(tb testing.TB, taxis int) (*Linker, map[EntityID][]Record) {
+	tb.Helper()
+	ground := GenerateCab(CabOptions{NumTaxis: taxis, Days: 2, MeanRecordIntervalSec: 360, Seed: 99})
+	w := SampleWorkload(&ground, SampleOptions{
+		IntersectionRatio: 0.5, InclusionProbE: 0.5, InclusionProbI: 0.5, Seed: 100,
+	})
+	lk, err := NewLinker(w.E, w.I, Defaults())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	byEntity := make(map[EntityID][]Record)
+	for _, r := range w.E.Records {
+		byEntity[r.Entity] = append(byEntity[r.Entity], r)
+	}
+	lk.Run()
+	return lk, byEntity
+}
+
+// weightOnlyBurst re-observes ~1% of the E entities by duplicating a few
+// of their existing records — records landing in bins that already exist,
+// the only ingest that leaves both IDF epochs untouched, so the next Run
+// takes the pair-level delta path. This is the streaming steady state:
+// entities keep visiting the places they already visit.
+func weightOnlyBurst(lk *Linker, byEntity map[EntityID][]Record, k int) {
+	entities := lk.EntitiesE()
+	n := len(entities) / 100
+	if n < 1 {
+		n = 1
+	}
+	for j := 0; j < n; j++ {
+		id := entities[(j*100+k*7)%len(entities)]
+		recs := byEntity[id]
+		for r := 0; r < 4 && r < len(recs); r++ {
+			lk.AddE(recs[(k*5+r)%len(recs)])
+		}
+	}
+}
+
+// BenchmarkRelinkIncrementalDirtyBurst measures a full Run (delta rescore
+// + matching + thresholding) after a ~1% weight-only dirty burst — the
+// steady-state relink cost of a streaming service.
+func BenchmarkRelinkIncrementalDirtyBurst(b *testing.B) {
+	lk, byEntity := relinkFixture(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		weightOnlyBurst(lk, byEntity, i)
+		b.StartTimer()
+		res := lk.Run()
+		if res.Stats.EdgeStore.FullRescore {
+			b.Fatal("burst unexpectedly forced a full rescore; the benchmark must measure the delta path")
+		}
+	}
+}
+
+// BenchmarkRelinkFullRescore measures the path the edge store replaced:
+// the identical burst relinked by rescanning every candidate pair (the
+// store's cache is invalidated before each Run, exactly what every Run
+// paid before the edge store existed).
+func BenchmarkRelinkFullRescore(b *testing.B) {
+	lk, byEntity := relinkFixture(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		weightOnlyBurst(lk, byEntity, i)
+		lk.edges.built = false // invalidate: force the pre-edge-store rescan
+		b.StartTimer()
+		res := lk.Run()
+		if !res.Stats.EdgeStore.FullRescore {
+			b.Fatal("full-rescore benchmark took the delta path")
+		}
+	}
+}
+
+// TestRelinkIncrementalSpeedupOverFullRescore is the acceptance gate: on
+// the standard workload, relinking after a ~1% weight-only dirty burst
+// via the edge store's pair-level delta must be at least 5x faster than
+// the full candidate rescan it replaced (in practice the gap tracks the
+// dirty fraction — one to two orders of magnitude; 5x leaves headroom for
+// noisy CI machines). Every measured pair of runs is also checked for
+// bit-identical output, so the gate cannot pass by skipping work.
+func TestRelinkIncrementalSpeedupOverFullRescore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short")
+	}
+	lk, byEntity := relinkFixture(t, 64)
+	const reps = 7
+	var incr, full []time.Duration
+	for k := 0; k < reps; k++ {
+		weightOnlyBurst(lk, byEntity, k)
+		start := time.Now()
+		res := lk.Run()
+		incr = append(incr, time.Since(start))
+		es := res.Stats.EdgeStore
+		if es.FullRescore || es.Retained == 0 {
+			t.Fatalf("rep %d did not take the delta path: %+v", k, es)
+		}
+
+		lk.edges.built = false
+		start = time.Now()
+		resFull := lk.Run()
+		full = append(full, time.Since(start))
+		if !resFull.Stats.EdgeStore.FullRescore {
+			t.Fatalf("rep %d: forced rescan took the delta path", k)
+		}
+		if !slices.Equal(res.Links, resFull.Links) || !slices.Equal(res.Matched, resFull.Matched) {
+			t.Fatalf("rep %d: delta relink output differs from full rescore", k)
+		}
+	}
+	med := func(ds []time.Duration) time.Duration {
+		s := slices.Clone(ds)
+		slices.Sort(s)
+		return s[len(s)/2]
+	}
+	mi, mf := med(incr), med(full)
+	speedup := float64(mf) / float64(mi)
+	t.Logf("median incremental relink %v, median full rescore %v: %.1fx", mi, mf, speedup)
+	if speedup < 5 {
+		t.Fatalf("incremental relink only %.1fx faster than full rescore (median %v vs %v); gate requires >= 5x",
+			speedup, mi, mf)
+	}
+}

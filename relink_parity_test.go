@@ -1,0 +1,201 @@
+package slim
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// requireSameResult asserts two Run results are bit-identical in
+// everything the edge store is responsible for: the retained/rescored
+// edge set (via Matched, which is the full positive-edge matching), the
+// published links, and the thresholding derived from them. Work counters
+// (bin/record comparisons) are deliberately excluded — saving that work
+// is the whole point of the incremental path.
+func requireSameResult(t *testing.T, step string, got, want Result) {
+	t.Helper()
+	if got.Stats.CandidatePairs != want.Stats.CandidatePairs {
+		t.Fatalf("%s: candidate pairs %d, want %d", step, got.Stats.CandidatePairs, want.Stats.CandidatePairs)
+	}
+	if got.Stats.PositiveEdges != want.Stats.PositiveEdges {
+		t.Fatalf("%s: positive edges %d, want %d", step, got.Stats.PositiveEdges, want.Stats.PositiveEdges)
+	}
+	if !slices.Equal(got.Matched, want.Matched) {
+		t.Fatalf("%s: matched links diverged (%d vs %d)", step, len(got.Matched), len(want.Matched))
+	}
+	if got.Threshold != want.Threshold || got.ThresholdMethod != want.ThresholdMethod {
+		t.Fatalf("%s: threshold %g (%s), want %g (%s)",
+			step, got.Threshold, got.ThresholdMethod, want.Threshold, want.ThresholdMethod)
+	}
+	if !slices.Equal(got.Links, want.Links) {
+		t.Fatalf("%s: links diverged (%d vs %d)", step, len(got.Links), len(want.Links))
+	}
+}
+
+// TestRelinkParityIncrementalVsFromScratch is the edge store's exactness
+// gate: an incrementally maintained Linker fed interleaved E/I ingest
+// bursts must produce Run output bit-identical to a from-scratch Linker
+// built over the union records on the same pinned grid — across
+// weight-only churn (the pair-level delta path), new-bin and new-entity
+// bursts (IDF-epoch full rescores), window-range growth in both
+// directions (candidate-grid epoch rebuilds), point and region records,
+// and SetTotalEntitiesE changes. It also asserts that both the delta path
+// and the full-rescore path actually ran, so parity cannot pass by
+// rescoring everything every time.
+func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
+	scenarios := []struct {
+		name string
+		lsh  *LSHConfig
+	}{
+		{"brute", nil},
+		// Signature level 13 != history level 12 exercises the separate
+		// signature stores.
+		{"lsh", &LSHConfig{Threshold: 0.2, StepWindows: 48, SpatialLevel: 13, NumBuckets: 1 << 14}},
+	}
+	for _, sc := range scenarios {
+		for _, seed := range []int64{3, 19} {
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := Defaults()
+				cfg.LSH = sc.lsh
+
+				ground := GenerateCab(CabOptions{NumTaxis: 14, Days: 2, MeanRecordIntervalSec: 420, Seed: seed})
+				w := SampleWorkload(&ground, SampleOptions{
+					IntersectionRatio: 0.5, InclusionProbE: 0.7, InclusionProbI: 0.7, Seed: seed + 1,
+				})
+				p, err := PrepareLinkage(w.E, w.I, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Pin the grid for both linkers so union rebuilds live on the
+				// same windows even after backward range growth.
+				opt := ShardOptions{EpochUnix: p.EpochUnix, SpatialLevel: p.Config.SpatialLevel}
+				inc, err := NewShardLinker(p.E, p.I, p.Config, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				unionE := slices.Clone(p.E.Records)
+				unionI := slices.Clone(p.I.Records)
+				lo, hi, _ := p.E.TimeRange()
+
+				// mutate applies one burst to the incremental linker and the
+				// union records. Kinds: 0 = weight-only re-observations
+				// (records duplicated into existing bins: the only churn that
+				// leaves both IDF epochs untouched), 1 = new cells inside the
+				// time range, 2/3 = range growth right/left, 4 = brand-new
+				// entity pair.
+				mutate := func(kind int) {
+					switch kind {
+					case 0:
+						for k := 0; k < 6; k++ {
+							r := unionE[rng.Intn(len(unionE))]
+							inc.AddE(r)
+							unionE = append(unionE, r)
+							r = unionI[rng.Intn(len(unionI))]
+							inc.AddI(r)
+							unionI = append(unionI, r)
+						}
+					case 1:
+						r := unionE[rng.Intn(len(unionE))]
+						r.LatLng.Lat += 0.3 + rng.Float64()
+						if rng.Intn(2) == 0 {
+							r.RadiusKm = 0.5 + rng.Float64()
+						}
+						inc.AddE(r)
+						unionE = append(unionE, r)
+					case 2:
+						r := unionI[rng.Intn(len(unionI))]
+						hi += 86400
+						r.Unix = hi
+						inc.AddI(r)
+						unionI = append(unionI, r)
+					case 3:
+						r := unionE[rng.Intn(len(unionE))]
+						lo -= 86400
+						r.Unix = lo
+						inc.AddE(r)
+						unionE = append(unionE, r)
+					case 4:
+						for k := 0; k < 8; k++ {
+							unix := lo + rng.Int63n(hi-lo)
+							re := NewRecord("fresh-e", 37.2+float64(k%3)*0.05, -121.9, unix)
+							ri := NewRecord("fresh-i", 37.2+float64(k%3)*0.05, -121.9, unix+40)
+							inc.AddE(re)
+							inc.AddI(ri)
+							unionE = append(unionE, re)
+							unionI = append(unionI, ri)
+						}
+					}
+				}
+
+				sawDelta, sawFull := false, false
+				kinds := []int{0, 0, 2, 0, 1, 3, 4, 0}
+				for burst, kind := range kinds {
+					mutate(kind)
+					if rng.Intn(2) == 0 {
+						// Force a mid-cycle candidate refresh so the edge
+						// store's pending delta survives being merged across
+						// several refreshes before one Run consumes it.
+						_ = inc.NumCandidatePairs()
+						mutate(0)
+					}
+					got := inc.Run()
+					es := got.Stats.EdgeStore
+					if es == nil {
+						t.Fatal("run stats carry no edge-store block")
+					}
+					if es.FullRescore {
+						sawFull = true
+					} else if es.Retained > 0 {
+						sawDelta = true
+						if es.Rescored+es.Retained < got.Stats.CandidatePairs {
+							t.Fatalf("burst %d: rescored %d + retained %d < candidates %d",
+								burst, es.Rescored, es.Retained, got.Stats.CandidatePairs)
+						}
+					}
+					fresh, err := NewShardLinker(
+						Dataset{Name: "E", Records: unionE},
+						Dataset{Name: "I", Records: unionI},
+						p.Config, opt,
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResult(t, fmt.Sprintf("burst %d (kind %d)", burst, kind), got, fresh.Run())
+				}
+				if !sawDelta || !sawFull {
+					t.Fatalf("workload must exercise both paths: delta=%v full=%v", sawDelta, sawFull)
+				}
+
+				// SetTotalEntitiesE moves the E-side IDF epoch: the next run
+				// must full-rescore and still match a from-scratch linker
+				// under the same override.
+				total := len(inc.EntitiesE()) + 16
+				inc.SetTotalEntitiesE(total)
+				got := inc.Run()
+				if !got.Stats.EdgeStore.FullRescore {
+					t.Fatal("SetTotalEntitiesE did not force a full rescore")
+				}
+				fresh, err := NewShardLinker(
+					Dataset{Name: "E", Records: unionE},
+					Dataset{Name: "I", Records: unionI},
+					p.Config, opt,
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh.SetTotalEntitiesE(total)
+				requireSameResult(t, "idf-total override", got, fresh.Run())
+
+				// A run with no ingest at all retains everything.
+				clean := inc.Run()
+				es := clean.Stats.EdgeStore
+				if es.Rescored != 0 || es.FullRescore || es.Retained != clean.Stats.CandidatePairs {
+					t.Fatalf("clean run rescored work: %+v", es)
+				}
+				requireSameResult(t, "clean rerun", clean, got)
+			})
+		}
+	}
+}

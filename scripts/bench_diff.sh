@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench_diff.sh <baseline.json> <current.json> [factor]
+#
+# Compares a CI benchmark run (BENCH_*.json, the bench2json.sh schema)
+# against the committed baseline and fails when any benchmark present in
+# the baseline regressed by more than <factor>x in ns/op (default 2, or
+# $BENCH_DIFF_FACTOR). A benchmark that disappeared from the current run
+# is a failure too — a gated metric must not silently vanish. Benchmarks
+# only present in the current run are reported but not gated, so adding a
+# benchmark does not require touching the baseline in the same commit.
+#
+# Baselines live in bench/ and are refreshed deliberately (run the CI
+# bench commands locally, copy the JSON over) whenever a PR moves a gated
+# metric on purpose.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <current.json> [factor]" >&2
+    exit 2
+fi
+base=$1
+cur=$2
+factor=${3:-${BENCH_DIFF_FACTOR:-2}}
+
+# extract <file> — print "name ns/op" per benchmark, stripping the
+# -<procs> suffix go test appends to benchmark names so baselines are
+# comparable across machines with different core counts.
+extract() {
+    tr ',' '\n' <"$1" | awk '
+        /"name":/    { if (match($0, /"name":"[^"]*"/)) { n = substr($0, RSTART+8, RLENGTH-9); sub(/-[0-9]+$/, "", n) } }
+        /"ns\/op":/  { if (match($0, /[0-9.eE+]+/)) print n, substr($0, RSTART, RLENGTH) }
+    '
+}
+
+fail=0
+while read -r name ns; do
+    curns=$(extract "$cur" | awk -v n="$name" '$1 == n { print $2; exit }')
+    if [ -z "$curns" ]; then
+        echo "FAIL $name: present in baseline $base but missing from $cur"
+        fail=1
+        continue
+    fi
+    verdict=$(awk -v b="$ns" -v c="$curns" -v f="$factor" 'BEGIN {
+        ratio = (b > 0) ? c / b : 0
+        printf "%.2f %s", ratio, (ratio > f) ? "FAIL" : "ok"
+    }')
+    ratio=${verdict% *}
+    status=${verdict#* }
+    printf '%-4s %s: baseline %s ns/op, current %s ns/op (%sx, limit %sx)\n' \
+        "$status" "$name" "$ns" "$curns" "$ratio" "$factor"
+    if [ "$status" = FAIL ]; then
+        fail=1
+    fi
+done < <(extract "$base")
+
+extract "$cur" | while read -r name ns; do
+    if ! extract "$base" | awk -v n="$name" '$1 == n { found = 1 } END { exit !found }'; then
+        echo "new  $name: %s ns/op (no baseline yet)" | sed "s/%s/$ns/"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_diff: regression beyond ${factor}x against $base" >&2
+    exit 1
+fi

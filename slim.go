@@ -56,6 +56,10 @@ type Stats struct {
 	AlibiBinPairs     int64
 	// LSH holds filter statistics when the filter was enabled.
 	LSH *LSHStats
+	// EdgeStore reports the incremental edge store behind this run: how
+	// many scored pairs were retained from the previous run versus
+	// rescored or dropped (see EdgeStoreStats).
+	EdgeStore *EdgeStoreStats
 }
 
 // LSHStats reports the candidate filter's effectiveness.
@@ -105,12 +109,16 @@ type Linker struct {
 	candidates []lsh.Pair
 	lshStats   *LSHStats
 	// candIndex incrementally maintains the LSH candidate set (non-nil
-	// exactly when cfg.LSH is set); lshDirtyE/lshDirtyI collect the
-	// entities touched by AddE/AddI since the last refresh, so a relink
-	// updates the index in O(dirty) instead of rebuilding the world.
+	// exactly when cfg.LSH is set); dirtyE/dirtyI collect the entities
+	// touched by AddE/AddI since the last run in every mode, so a relink
+	// re-signs O(dirty) index entries and — via the edge store — rescores
+	// O(dirty) pairs instead of rescanning the world.
 	candIndex *candidates.Index
-	lshDirtyE map[EntityID]struct{}
-	lshDirtyI map[EntityID]struct{}
+	dirtyE    map[EntityID]struct{}
+	dirtyI    map[EntityID]struct{}
+	// edges is the maintained pair→score state RunEdges updates by delta;
+	// see edges.go for the epoch-invalidation discipline.
+	edges edgeStore
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
@@ -224,7 +232,13 @@ func NewShardLinker(dsE, dsI Dataset, cfg Config, opt ShardOptions) (*Linker, er
 // buildLinker assembles stores, scorer and LSH candidates from prepared
 // datasets under an already-resolved configuration and windowing.
 func buildLinker(fe, fi Dataset, cfg Config, wnd model.Windowing) (*Linker, error) {
-	lk := &Linker{cfg: cfg, wnd: wnd}
+	lk := &Linker{
+		cfg:    cfg,
+		wnd:    wnd,
+		dirtyE: make(map[EntityID]struct{}),
+		dirtyI: make(map[EntityID]struct{}),
+		edges:  newEdgeStore(),
+	}
 	lk.storeE = history.Build(&fe, wnd, cfg.SpatialLevel)
 	lk.storeI = history.Build(&fi, wnd, cfg.SpatialLevel)
 
@@ -263,16 +277,15 @@ func (lk *Linker) buildLSHCandidates(fe, fi *model.Dataset) error {
 		SpatialLevel: c.SpatialLevel,
 		NumBuckets:   c.NumBuckets,
 	})
-	lk.lshDirtyE = make(map[EntityID]struct{})
-	lk.lshDirtyI = make(map[EntityID]struct{})
 	lk.refreshLSHCandidates()
 	return nil
 }
 
 // lshStale reports whether incremental adds have outdated the candidate
-// set since the last refresh.
+// set since the last refresh (always false with LSH disabled: brute-force
+// dirty entities are consumed by RunEdges itself).
 func (lk *Linker) lshStale() bool {
-	return len(lk.lshDirtyE) > 0 || len(lk.lshDirtyI) > 0
+	return lk.candIndex != nil && (len(lk.dirtyE) > 0 || len(lk.dirtyI) > 0)
 }
 
 // refreshLSHCandidates brings the candidate index up to date with the
@@ -281,10 +294,14 @@ func (lk *Linker) lshStale() bool {
 // entity set to the index, which updates by delta (an epoch rebuild only
 // when the window range outgrew the signature grid); the resulting pair
 // set is identical to a from-scratch rebuild (see internal/candidates).
+// The candidate Delta is folded into the edge store's pending work, so
+// the next RunEdges rescores exactly the added/dirty pairs and drops the
+// removed ones — the refresh consumes the dirty entity sets.
 func (lk *Linker) refreshLSHCandidates() {
-	lk.candIndex.Update(lk.lshDirtyE, lk.lshDirtyI)
-	clear(lk.lshDirtyE)
-	clear(lk.lshDirtyI)
+	d := lk.candIndex.Update(lk.dirtyE, lk.dirtyI)
+	clear(lk.dirtyE)
+	clear(lk.dirtyI)
+	lk.edges.mergeDelta(d)
 	// Pairs is never nil: zero survivors must stay distinguishable from
 	// "LSH disabled", where a nil candidate set means brute force.
 	lk.candidates = lk.candIndex.Pairs()
@@ -331,15 +348,15 @@ func (lk *Linker) CandidateIndexStats() *CandidateIndexStats {
 }
 
 // AddE ingests new records of the first dataset into the prepared linker,
-// updating histories, IDF statistics and (lazily) the LSH candidates. The
-// next Run reflects the additions. Incremental adds bypass the MinRecords
-// filter applied at construction time; callers streaming sparse entities
-// should batch until entities have enough records to be linkable.
-// Not safe concurrently with Run or Score.
-func (lk *Linker) AddE(recs ...Record) { lk.add(lk.storeE, lk.sigStoreE, lk.lshDirtyE, recs) }
+// updating histories, IDF statistics and (lazily) the LSH candidates and
+// edge store. The next Run reflects the additions. Incremental adds bypass
+// the MinRecords filter applied at construction time; callers streaming
+// sparse entities should batch until entities have enough records to be
+// linkable. Not safe concurrently with Run or Score.
+func (lk *Linker) AddE(recs ...Record) { lk.add(lk.storeE, lk.sigStoreE, lk.dirtyE, recs) }
 
 // AddI ingests new records of the second dataset; see AddE.
-func (lk *Linker) AddI(recs ...Record) { lk.add(lk.storeI, lk.sigStoreI, lk.lshDirtyI, recs) }
+func (lk *Linker) AddI(recs ...Record) { lk.add(lk.storeI, lk.sigStoreI, lk.dirtyI, recs) }
 
 func (lk *Linker) add(store, sigStore *history.Store, dirty map[EntityID]struct{}, recs []Record) {
 	for _, r := range recs {
@@ -347,12 +364,11 @@ func (lk *Linker) add(store, sigStore *history.Store, dirty map[EntityID]struct{
 		if sigStore != nil && sigStore != store {
 			sigStore.Add(r)
 		}
-		if dirty != nil {
-			// LSH enabled: remember which entities the next candidate
-			// refresh must re-sign (the index skips any whose history
-			// version turns out unchanged).
-			dirty[r.Entity] = struct{}{}
-		}
+		// Remember which entities changed: the next candidate refresh
+		// re-signs exactly these (LSH mode), and the next RunEdges rescores
+		// exactly their pairs (brute-force mode) unless an IDF-epoch bump
+		// forces a full rescore anyway.
+		dirty[r.Entity] = struct{}{}
 	}
 }
 
@@ -424,13 +440,27 @@ func (lk *Linker) Precompile() {
 	lk.storeI.Compile()
 }
 
-// RunEdges scores the current candidate set and returns the positive
-// scored pairs together with the per-call work stats, without matching or
-// thresholding. It is the building block partitioned engines use: each
-// shard contributes its edges, and the caller merges them with MatchLinks
-// and SelectStopThreshold. Run composes the same pieces for the
-// single-linker pipeline. The returned Stats carry a private LSHStats
-// copy, so a later refresh never mutates results a caller still holds.
+// RunEdges brings the edge store up to date with the current candidate
+// set and returns the retained positive scored pairs together with the
+// per-call work stats, without matching or thresholding. It is the
+// building block partitioned engines use: each shard contributes its
+// edges, and the caller merges them with MatchLinks and
+// SelectStopThreshold. Run composes the same pieces for the single-linker
+// pipeline.
+//
+// Scoring is incremental: while both history stores' IDF epochs stand
+// still, only the pairs whose candidate membership or endpoint histories
+// changed since the last call are rescored; every other edge keeps its
+// cached score, which is bit-identical to what a rescore would produce
+// (scores are pure functions of the two histories and the epoch-versioned
+// dataset statistics — see edges.go). Any epoch movement (new bin, new
+// entity, SetTotalEntitiesE change) forces a full rescore of the whole
+// candidate set, restoring exactly the old per-run behavior.
+//
+// The returned Stats carry private LSHStats/EdgeStoreStats copies, so a
+// later refresh never mutates results a caller still holds. The returned
+// link slice is shared with the store's cache until the edge set next
+// changes; callers must not modify it.
 func (lk *Linker) RunEdges() ([]Link, Stats) {
 	if lk.lshStale() {
 		lk.refreshLSHCandidates()
@@ -440,21 +470,50 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 	// last run keep their compiled state.
 	lk.Precompile()
 	nPairs := lk.NumCandidatePairs()
-	var edges []matching.Edge
-	if lk.candidates != nil {
-		pairs := lk.candidates
-		edges = lk.scoreIndexed(len(pairs), func(k int) (EntityID, EntityID) {
-			return pairs[k].U, pairs[k].V
-		})
+
+	start := time.Now()
+	epochE, epochI := lk.storeE.Epoch(), lk.storeI.Epoch()
+	full := !lk.edges.built || lk.edges.pendFull ||
+		epochE != lk.edges.epochE || epochI != lk.edges.epochI
+	if full {
+		var edges []matching.Edge
+		if lk.candidates != nil {
+			pairs := lk.candidates
+			edges = lk.scoreIndexed(len(pairs), func(k int) (EntityID, EntityID) {
+				return pairs[k].U, pairs[k].V
+			})
+		} else {
+			// Brute force: enumerate the |E|×|I| cross product by index
+			// instead of materializing multi-GiB pair slices.
+			es := lk.storeE.Entities()
+			is := lk.storeI.Entities()
+			edges = lk.scoreIndexed(len(es)*len(is), func(k int) (EntityID, EntityID) {
+				return es[k/len(is)], is[k%len(is)]
+			})
+		}
+		lk.edges.resetFull(toLinks(edges))
+		lk.edges.lastRescored, lk.edges.lastRetained, lk.edges.lastDropped = nPairs, 0, 0
 	} else {
-		// Brute force: enumerate the |E|×|I| cross product by index instead
-		// of materializing multi-GiB pair slices.
-		es := lk.storeE.Entities()
-		is := lk.storeI.Entities()
-		edges = lk.scoreIndexed(len(es)*len(is), func(k int) (EntityID, EntityID) {
-			return es[k/len(is)], is[k%len(is)]
-		})
+		var pairs []lsh.Pair
+		if lk.candIndex != nil {
+			pairs = make([]lsh.Pair, 0, len(lk.edges.pendRescore))
+			for p := range lk.edges.pendRescore {
+				pairs = append(pairs, p)
+			}
+		} else {
+			pairs = lk.bruteDeltaPairs()
+		}
+		dropped := lk.edges.apply(pairs, lk.scorePairs(pairs))
+		lk.edges.lastRescored = int64(len(pairs))
+		lk.edges.lastRetained = nPairs - int64(len(pairs))
+		lk.edges.lastDropped = dropped
 	}
+	lk.edges.built = true
+	lk.edges.epochE, lk.edges.epochI = epochE, epochI
+	clear(lk.dirtyE)
+	clear(lk.dirtyI)
+	links := lk.edges.materialize()
+	lk.edges.lastUpdate = time.Since(start)
 
 	st := lk.scorer.Stats()
 	delta := similarity.Stats{
@@ -465,16 +524,100 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 	lk.prevStats = st
 	stats := Stats{
 		CandidatePairs:    nPairs,
-		PositiveEdges:     int64(len(edges)),
+		PositiveEdges:     int64(len(links)),
 		BinComparisons:    delta.BinComparisons,
 		RecordComparisons: delta.RecordComparisons,
 		AlibiBinPairs:     delta.AlibiBinPairs,
+		EdgeStore:         lk.edges.statsSnapshot(),
 	}
 	if lk.lshStats != nil {
 		lshCopy := *lk.lshStats
 		stats.LSH = &lshCopy
 	}
-	return toLinks(edges), stats
+	return links, stats
+}
+
+// bruteDeltaPairs enumerates the pairs a brute-force (LSH-disabled) delta
+// rescore must touch: dirtyE×I ∪ E×dirtyI. New entities cannot appear
+// here — a new entity bumps its store's IDF epoch, which forces a full
+// rescore before this path is taken — so the enumeration only ever names
+// pairs whose counterpart lists are unchanged since the last run.
+func (lk *Linker) bruteDeltaPairs() []lsh.Pair {
+	es := lk.storeE.Entities()
+	is := lk.storeI.Entities()
+	pairs := make([]lsh.Pair, 0, len(lk.dirtyE)*len(is)+len(lk.dirtyI)*len(es))
+	for u := range lk.dirtyE {
+		for _, v := range is {
+			pairs = append(pairs, lsh.Pair{U: u, V: v})
+		}
+	}
+	for v := range lk.dirtyI {
+		for _, u := range es {
+			if _, dup := lk.dirtyE[u]; dup {
+				continue // already enumerated against the full I side
+			}
+			pairs = append(pairs, lsh.Pair{U: u, V: v})
+		}
+	}
+	return pairs
+}
+
+// scorePairs scores the given pairs across the configured workers and
+// returns the per-pair scores (including non-positive ones, which the
+// edge store needs to drop stale edges). Each worker owns a contiguous
+// index range of the output, so the result is deterministic.
+func (lk *Linker) scorePairs(pairs []lsh.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	workers := lk.workerCount(len(pairs))
+	runChunks(workers, len(pairs), func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			out[k] = lk.scorer.Score(pairs[k].U, pairs[k].V)
+		}
+	})
+	return out
+}
+
+// workerCount clamps the configured scoring parallelism to the work size.
+func (lk *Linker) workerCount(total int) int {
+	workers := lk.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > total {
+		workers = total
+	}
+	return workers
+}
+
+// runChunks partitions [0, total) into contiguous per-worker ranges and
+// calls fn(w, lo, hi) concurrently, returning after all workers finish.
+// Both scoring paths (full scoreIndexed and delta scorePairs) run on it,
+// so worker policy cannot drift between them.
+func runChunks(workers, total int, fn func(w, lo, hi int)) {
+	if workers <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (total + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, total)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// EdgeStoreStats returns a snapshot of the incremental edge store (zero
+// before the first RunEdges). Not safe concurrently with Run or Add.
+func (lk *Linker) EdgeStoreStats() *EdgeStoreStats {
+	return lk.edges.statsSnapshot()
 }
 
 // Run executes scoring, matching and thresholding and returns the result.
@@ -567,39 +710,21 @@ func FilterLinks(links []Link, thr float64) []Link {
 // writes into its own result slot; slots are concatenated in worker order
 // after the barrier, so the merge is deterministic and lock-free.
 func (lk *Linker) scoreIndexed(total int, pairAt func(int) (EntityID, EntityID)) []matching.Edge {
-	workers := lk.cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > total {
-		workers = total
-	}
+	workers := lk.workerCount(total)
 	if workers == 0 {
 		return nil
 	}
 	results := make([][]matching.Edge, workers)
-	var wg sync.WaitGroup
-	chunk := (total + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, total)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			local := make([]matching.Edge, 0, (hi-lo)/4)
-			for k := lo; k < hi; k++ {
-				u, v := pairAt(k)
-				if s := lk.scorer.Score(u, v); s > 0 {
-					local = append(local, matching.Edge{U: u, V: v, W: s})
-				}
+	runChunks(workers, total, func(w, lo, hi int) {
+		local := make([]matching.Edge, 0, (hi-lo)/4)
+		for k := lo; k < hi; k++ {
+			u, v := pairAt(k)
+			if s := lk.scorer.Score(u, v); s > 0 {
+				local = append(local, matching.Edge{U: u, V: v, W: s})
 			}
-			results[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		results[w] = local
+	})
 	var edges []matching.Edge
 	for _, part := range results {
 		edges = append(edges, part...)
