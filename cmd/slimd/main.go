@@ -7,7 +7,8 @@
 //
 //	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv]
 //	      [-data-dir ./data] [-fsync-interval 2ms] [-snapshot-every 8]
-//	      [-debug-addr localhost:6060] [flags]
+//	      [-ingest-queue-depth 262144] [-ingest-shed-after 10s]
+//	      [-max-ingest-body 16777216] [-debug-addr localhost:6060] [flags]
 //
 // The service may start empty (stream everything over the API) or seeded
 // with two CSV datasets (entity,lat,lng,unix), which are linked once at
@@ -37,6 +38,7 @@ import (
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/ingest"
 	"slim/internal/server"
 	"slim/internal/storage"
 )
@@ -49,6 +51,10 @@ func main() {
 		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
 		ePath     = flag.String("e", "", "optional seed CSV for the first dataset")
 		iPath     = flag.String("i", "", "optional seed CSV for the second dataset")
+
+		queueDepth   = flag.Int("ingest-queue-depth", ingest.DefaultQueueDepth, "shed ingest once this many records are queued (inflight + pending relink)")
+		shedAfter    = flag.Duration("ingest-shed-after", ingest.DefaultShedAfter, "shed ingest once the oldest queued record has waited this long (<0 = never)")
+		maxBody      = flag.Int64("max-ingest-body", server.MaxIngestBody, "maximum ingest request body in bytes (JSON and binary); larger bodies get 413")
 
 		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
 		fsyncInterval = flag.Duration("fsync-interval", storage.DefaultFsyncInterval, "WAL group-commit window (0 = fsync every append, <0 = never fsync)")
@@ -159,7 +165,14 @@ func main() {
 			len(res.Links), len(res.Matched), res.Threshold, res.Elapsed)
 	}
 
-	srv := server.New(eng, logger)
+	plane := ingest.NewPlane(eng, ingest.Config{
+		QueueDepth: *queueDepth,
+		ShedAfter:  *shedAfter,
+	})
+	srv := server.New(eng, logger,
+		server.WithIngestPlane(plane),
+		server.WithMaxIngestBody(*maxBody),
+	)
 	if store != nil {
 		srv.AttachStore(store)
 	}
@@ -184,6 +197,24 @@ func main() {
 				"runs_short_circuited":  st.RunsShortCircuited,
 				"runs_total":            st.Runs,
 				"dirty_shards_last_run": uint64(st.DirtyShardsLastRun),
+			}
+		}))
+		// slim_ingest is the backpressure odometer: queue occupancy and
+		// accept/shed counters for both ingest planes, flat for scraping.
+		expvar.Publish("slim_ingest", expvar.Func(func() any {
+			ist := plane.Stats()
+			return map[string]any{
+				"queue_depth":      ist.QueueDepth,
+				"shed_after_ms":    float64(ist.ShedAfter.Microseconds()) / 1000,
+				"inflight_records": ist.InflightRecords,
+				"pending_records":  ist.PendingRecords,
+				"oldest_wait_ms":   float64(ist.OldestWait.Microseconds()) / 1000,
+				"accepted_batches": ist.AcceptedBatches,
+				"accepted_records": ist.AcceptedRecords,
+				"shed_requests":    ist.ShedRequests,
+				"shed_records":     ist.ShedRecords,
+				"shed_queue_depth": ist.ShedQueueDepth,
+				"shed_latency":     ist.ShedLatency,
 			}
 		}))
 		if store != nil {

@@ -1,0 +1,143 @@
+// Example ingest-bench drives slimd's binary ingest plane
+// (POST /v1/ingest/batch, application/x-slim-frame) as hard as it can:
+// it pre-encodes a synthetic burst into CRC-framed wire batches, streams
+// them with a Retry-After-honoring backoff loop (the server sheds with
+// 429 when its queue-depth or latency budget is exceeded), and prints
+// the achieved throughput plus the service's ingest stats block.
+//
+// Start the service first, then run the bench:
+//
+//	go run ./cmd/slimd -addr :8080 &
+//	go run ./examples/ingest-bench -addr http://localhost:8080 -records 1000000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"slim"
+	"slim/internal/ingest"
+	"slim/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "slimd base URL")
+	records := flag.Int("records", 1_000_000, "total records in the burst")
+	batch := flag.Int("batch", 4096, "records per wire batch (one frame each)")
+	frames := flag.Int("frames", 16, "wire batches per HTTP request")
+	entities := flag.Int("entities", 512, "distinct synthetic entities")
+	flag.Parse()
+
+	// Pre-encode the whole burst so the loop below measures the service,
+	// not the client's encoder. Each request body is a run of CRC-framed
+	// wire batches — exactly what the server appends to its WAL.
+	fmt.Printf("encoding %d records (%d per batch, %d batches per request)\n", *records, *batch, *frames)
+	var bodies [][]byte
+	var body []byte
+	recs := make([]slim.Record, 0, *batch)
+	inBody := 0
+	flush := func() {
+		if len(recs) == 0 {
+			return
+		}
+		body = storage.AppendFrame(body, storage.AppendWireBatch(nil, storage.TagE, recs))
+		recs = recs[:0]
+		if inBody++; inBody == *frames {
+			bodies, body, inBody = append(bodies, body), nil, 0
+		}
+	}
+	for i := 0; i < *records; i++ {
+		e := slim.EntityID(fmt.Sprintf("cab-%04d", i%*entities))
+		recs = append(recs, slim.NewRecord(e,
+			37.7+float64(i%1000)*1e-4, -122.4+float64(i%997)*1e-4,
+			int64(1_600_000_000+i)))
+		if len(recs) == *batch {
+			flush()
+		}
+	}
+	flush()
+	if body != nil {
+		bodies = append(bodies, body)
+	}
+
+	fmt.Printf("streaming %d requests to %s/v1/ingest/batch\n", len(bodies), *addr)
+	client := &http.Client{Timeout: 30 * time.Second}
+	var sheds int
+	start := time.Now()
+	for _, b := range bodies {
+		// Retry loop: a 429 is a clean rejection (nothing from the request
+		// was applied), so resend the identical body after Retry-After.
+		for {
+			resp, err := client.Post(*addr+"/v1/ingest/batch", ingest.ContentType, bytes.NewReader(b))
+			if err != nil {
+				fatal(err)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				sheds++
+				wait := time.Second
+				if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+					wait = time.Duration(s) * time.Second
+				}
+				resp.Body.Close()
+				time.Sleep(wait)
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				var msg bytes.Buffer
+				msg.ReadFrom(resp.Body)
+				resp.Body.Close()
+				fatal(fmt.Errorf("ingest: %s: %s", resp.Status, msg.String()))
+			}
+			resp.Body.Close()
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ingested %d records in %v (%.0f records/s, %d requests shed and retried)\n",
+		*records, elapsed.Round(time.Millisecond), float64(*records)/elapsed.Seconds(), sheds)
+
+	// The service-side view of the same burst.
+	var stats struct {
+		Ingest *struct {
+			QueueDepth      int     `json:"queue_depth"`
+			ShedAfterMs     float64 `json:"shed_after_ms"`
+			InflightRecords int     `json:"inflight_records"`
+			PendingRecords  int     `json:"pending_records"`
+			OldestWaitMs    float64 `json:"oldest_wait_ms"`
+			AcceptedBatches uint64  `json:"accepted_batches"`
+			AcceptedRecords uint64  `json:"accepted_records"`
+			ShedRequests    uint64  `json:"shed_requests"`
+			ShedRecords     uint64  `json:"shed_records"`
+			ShedQueueDepth  uint64  `json:"shed_queue_depth"`
+			ShedLatency     uint64  `json:"shed_latency"`
+		} `json:"ingest"`
+	}
+	resp, err := client.Get(*addr + "/v1/stats")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fatal(err)
+	}
+	if ist := stats.Ingest; ist != nil {
+		fmt.Printf("service ingest stats:\n")
+		fmt.Printf("  budgets: queue depth %d records, shed after %.0fms\n", ist.QueueDepth, ist.ShedAfterMs)
+		fmt.Printf("  queue:   %d inflight, %d pending relink, oldest wait %.2fms\n",
+			ist.InflightRecords, ist.PendingRecords, ist.OldestWaitMs)
+		fmt.Printf("  accepted: %d batches / %d records\n", ist.AcceptedBatches, ist.AcceptedRecords)
+		fmt.Printf("  shed:     %d requests / %d records (%d on queue depth, %d on latency)\n",
+			ist.ShedRequests, ist.ShedRecords, ist.ShedQueueDepth, ist.ShedLatency)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ingest-bench:", err)
+	os.Exit(1)
+}

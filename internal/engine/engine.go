@@ -64,6 +64,10 @@ type shard struct {
 	pendMu sync.Mutex
 	pendE  []slim.Record
 	pendI  []slim.Record
+	// pendSince is when the pending buffers last went empty→non-empty:
+	// the enqueue time of the shard's oldest queued record, the ingest
+	// plane's relink-lag signal (zero while the queue is empty).
+	pendSince time.Time
 
 	runMu sync.Mutex
 	lk    *slim.Linker
@@ -91,12 +95,28 @@ func (sh *shard) pending() int {
 	return len(sh.pendE) + len(sh.pendI)
 }
 
+// buffer enqueues one batch onto the shard's pending queue for the given
+// dataset side, stamping pendSince on an empty→non-empty transition.
+func (sh *shard) buffer(e bool, recs []slim.Record) {
+	sh.pendMu.Lock()
+	if len(sh.pendE)+len(sh.pendI) == 0 {
+		sh.pendSince = time.Now()
+	}
+	if e {
+		sh.pendE = append(sh.pendE, recs...)
+	} else {
+		sh.pendI = append(sh.pendI, recs...)
+	}
+	sh.pendMu.Unlock()
+}
+
 // applyPending drains the ingest buffers into the shard linker and
 // reports whether the shard needs re-scoring. Callers must hold runMu.
 func (sh *shard) applyPending() (dirty bool) {
 	sh.pendMu.Lock()
 	pe, pi := sh.pendE, sh.pendI
 	sh.pendE, sh.pendI = nil, nil
+	sh.pendSince = time.Time{}
 	sh.pendMu.Unlock()
 	sh.lk.AddE(pe...)
 	sh.lk.AddI(pi...)
@@ -322,14 +342,7 @@ func (e *Engine) AddE(recs ...slim.Record) error {
 			return err
 		}
 	}
-	for _, r := range recs {
-		sh := e.shards[shardOf(r.Entity, len(e.shards))]
-		sh.pendMu.Lock()
-		sh.pendE = append(sh.pendE, r)
-		sh.pendMu.Unlock()
-	}
-	e.ingestedE.Add(uint64(len(recs)))
-	e.scheduleRelink()
+	e.BufferE(recs...)
 	return nil
 }
 
@@ -345,14 +358,66 @@ func (e *Engine) AddI(recs ...slim.Record) error {
 			return err
 		}
 	}
+	e.BufferI(recs...)
+	return nil
+}
+
+// BufferE enqueues first-dataset records onto their owning shards'
+// pending queues WITHOUT consulting the persister. It exists for callers
+// that have already made the batch durable through another path — the
+// binary ingest plane logs the wire bytes verbatim (storage.LogEncoded)
+// and recovery re-feeds records the WAL already holds. Everything else
+// must go through AddE.
+func (e *Engine) BufferE(recs ...slim.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	if len(e.shards) == 1 {
+		e.shards[0].buffer(true, recs)
+	} else {
+		// Group per shard first so each queue is taken once per batch, not
+		// once per record — the ingest plane's hot path.
+		parts := make([][]slim.Record, len(e.shards))
+		for _, r := range recs {
+			s := shardOf(r.Entity, len(e.shards))
+			parts[s] = append(parts[s], r)
+		}
+		for s, part := range parts {
+			if len(part) > 0 {
+				e.shards[s].buffer(true, part)
+			}
+		}
+	}
+	e.ingestedE.Add(uint64(len(recs)))
+	e.scheduleRelink()
+}
+
+// BufferI enqueues second-dataset records, replicated to every shard's
+// pending queue, without consulting the persister (see BufferE).
+func (e *Engine) BufferI(recs ...slim.Record) {
+	if len(recs) == 0 {
+		return
+	}
 	for _, sh := range e.shards {
-		sh.pendMu.Lock()
-		sh.pendI = append(sh.pendI, recs...)
-		sh.pendMu.Unlock()
+		sh.buffer(false, recs)
 	}
 	e.ingestedI.Add(uint64(len(recs)))
 	e.scheduleRelink()
-	return nil
+}
+
+// OldestPending returns the enqueue time of the oldest record still
+// buffered for a future relink; ok is false when nothing is pending.
+// Together with Pending it is the engine's queue/backpressure state: the
+// ingest plane sheds load when the depth or this age exceeds its budget.
+func (e *Engine) OldestPending() (oldest time.Time, ok bool) {
+	for _, sh := range e.shards {
+		sh.pendMu.Lock()
+		if len(sh.pendE)+len(sh.pendI) > 0 && (oldest.IsZero() || sh.pendSince.Before(oldest)) {
+			oldest = sh.pendSince
+		}
+		sh.pendMu.Unlock()
+	}
+	return oldest, !oldest.IsZero()
 }
 
 // Run drains pending ingest, re-scores every dirty shard (clean shards
@@ -585,6 +650,10 @@ type Stats struct {
 	// PendingRecords counts buffered records not yet applied by a relink
 	// (an I record pending on k shards counts k times).
 	PendingRecords int
+	// PendingOldestAge is how long the oldest buffered record has been
+	// waiting for a relink (zero when nothing is pending) — the relink-lag
+	// signal behind the ingest plane's latency-budget shedding.
+	PendingOldestAge time.Duration
 	// DirtyShards counts shards that the next run will re-score.
 	DirtyShards int
 	// DirtyShardsLastRun counts shards the latest relink actually
@@ -649,9 +718,16 @@ func (e *Engine) Stats() Stats {
 		EdgeDroppedTotal:   e.edgeDropped.Load(),
 		RunsShortCircuited: e.shortCircuits.Load(),
 	}
+	var oldestPend time.Time
 	for s, sh := range e.shards {
-		pending := sh.pending()
+		sh.pendMu.Lock()
+		pending := len(sh.pendE) + len(sh.pendI)
+		since := sh.pendSince
+		sh.pendMu.Unlock()
 		st.PendingRecords += pending
+		if pending > 0 && (oldestPend.IsZero() || since.Before(oldestPend)) {
+			oldestPend = since
+		}
 		if pending > 0 || !sh.ran.Load() {
 			st.DirtyShards++
 		}
@@ -665,6 +741,9 @@ func (e *Engine) Stats() Stats {
 		if es := sh.edge.Load(); es != nil {
 			st.EdgeStore = mergeEdgeStats(st.EdgeStore, es)
 		}
+	}
+	if !oldestPend.IsZero() {
+		st.PendingOldestAge = time.Since(oldestPend)
 	}
 	if ci := st.CandidateIndex; ci != nil && ci.Buckets > 0 {
 		ci.Occupancy = float64(ci.Memberships) / float64(ci.Buckets)

@@ -1,0 +1,8 @@
+//go:build race
+
+package ingest
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput floor is skipped under instrumentation (it measures the
+// real pipeline, and CI gates it in a dedicated non-race step).
+const raceEnabled = true

@@ -1,9 +1,13 @@
 // Package server exposes an engine.Engine as a JSON-over-HTTP linkage
 // service — the network surface of cmd/slimd.
 //
-// API (all bodies are JSON):
+// API (all bodies are JSON unless noted):
 //
 //	POST /v1/datasets/{e|i}/records   batched record ingest
+//	POST /v1/ingest/batch             binary batch ingest (application/
+//	                                  x-slim-frame: CRC-framed wire
+//	                                  batches, appended to the WAL with
+//	                                  zero re-encode; see internal/ingest)
 //	POST /v1/link                     trigger a synchronous relink
 //	POST /v1/snapshot                 manual storage checkpoint (503 without a data dir)
 //	GET  /v1/links                    current links (?limit=&offset=&min_score=)
@@ -17,6 +21,12 @@
 // (debounced in the background when the engine's scheduler is started, or
 // forced via POST /v1/link), so ingest responds quickly even while a
 // linkage run is in flight.
+//
+// Both ingest paths share one backpressure policy (the ingest.Plane):
+// when the plane's queue-depth or latency budget is exceeded — WAL fsync
+// or relink lagging — requests are shed with 429 Too Many Requests and a
+// Retry-After hint instead of buffering unboundedly. A body larger than
+// the configured ingest limit is refused with 413.
 package server
 
 import (
@@ -33,19 +43,44 @@ import (
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/ingest"
 	"slim/internal/storage"
 )
 
-// MaxIngestBody bounds one ingest request body (16 MiB).
+// MaxIngestBody is the default bound on one ingest request body (16
+// MiB); override per server with WithMaxIngestBody / slimd
+// -max-ingest-body.
 const MaxIngestBody = 16 << 20
 
 // Server routes HTTP requests onto an engine.
 type Server struct {
-	eng   *engine.Engine
-	store *storage.Store // nil when running without a data directory
-	mux   *http.ServeMux
-	log   *log.Logger
-	ready atomic.Bool
+	eng     *engine.Engine
+	store   *storage.Store // nil when running without a data directory
+	plane   *ingest.Plane  // shared ingest admission + binary pipeline
+	maxBody int64
+	mux     *http.ServeMux
+	log     *log.Logger
+	ready   atomic.Bool
+}
+
+// Option customizes a Server at construction.
+type Option func(*Server)
+
+// WithMaxIngestBody overrides the per-request ingest body limit
+// (MaxIngestBody). Oversized bodies are refused with 413.
+func WithMaxIngestBody(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithIngestPlane installs a caller-built ingest plane (custom queue
+// depth / shed budgets, or one the process also exports over expvar).
+// Without this option the server builds a plane with default budgets.
+func WithIngestPlane(p *ingest.Plane) Option {
+	return func(s *Server) { s.plane = p }
 }
 
 // New builds a server over the engine. logger may be nil to disable
@@ -53,9 +88,16 @@ type Server struct {
 // SetReady once recovery and the initial seed link are done, so load
 // balancers watching /readyz never route to a node that is still
 // replaying its WAL.
-func New(eng *engine.Engine, logger *log.Logger) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
+func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
+	s := &Server{eng: eng, maxBody: MaxIngestBody, mux: http.NewServeMux(), log: logger}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.plane == nil {
+		s.plane = ingest.NewPlane(eng, ingest.Config{})
+	}
 	s.mux.HandleFunc("POST /v1/datasets/{dataset}/records", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/ingest/batch", s.handleIngestBinary)
 	s.mux.HandleFunc("POST /v1/link", s.handleLink)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
@@ -67,8 +109,12 @@ func New(eng *engine.Engine, logger *log.Logger) *Server {
 }
 
 // AttachStore wires the durable storage layer in: /v1/snapshot becomes
-// operational and /v1/stats grows storage counters. Call before serving.
-func (s *Server) AttachStore(st *storage.Store) { s.store = st }
+// operational, /v1/stats grows storage counters, and binary ingest is
+// logged to the WAL before it is acknowledged. Call before serving.
+func (s *Server) AttachStore(st *storage.Store) {
+	s.store = st
+	s.plane.AttachLogger(st)
+}
 
 // SetReady marks the node ready for traffic (see New).
 func (s *Server) SetReady() { s.ready.Store(true) }
@@ -128,8 +174,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body ingestRequest
-	if err := decodeJSON(req, &body); err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+	if err := s.decodeJSON(w, req, &body); err != nil {
+		s.requestError(w, err)
 		return
 	}
 	if len(body.Records) == 0 {
@@ -146,7 +192,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		rec.RadiusKm = r.RadiusKm
 		recs[i] = rec
 	}
-	var err error
+	// Same backpressure policy as the binary plane: shed before anything
+	// is logged or buffered, so a 429'd batch is cleanly rejected.
+	release, err := s.plane.Admit(len(recs))
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	defer release()
 	if ds == "e" {
 		err = s.eng.AddE(recs...)
 	} else {
@@ -158,11 +211,92 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		s.error(w, http.StatusInternalServerError, fmt.Sprintf("persisting batch: %v", err))
 		return
 	}
+	s.plane.NoteAccepted(1, len(recs))
 	s.json(w, http.StatusAccepted, ingestResponse{
 		Accepted: len(recs),
 		Dataset:  ds,
 		Pending:  s.eng.Pending(),
 	})
+}
+
+// binaryIngestResponse acknowledges one binary ingest request: every
+// record in every batch is durable (when a data directory is configured)
+// and buffered toward the next relink.
+type binaryIngestResponse struct {
+	Accepted int `json:"accepted"`
+	Batches  int `json:"batches"`
+	Pending  int `json:"pending"`
+}
+
+// handleIngestBinary is the high-throughput plane: CRC-framed wire
+// batches, checked once at the edge and appended to the WAL with zero
+// re-encode. The whole request is admitted or shed atomically.
+func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != ingest.ContentType {
+		s.error(w, http.StatusUnsupportedMediaType, fmt.Sprintf("content type %q, want %s", ct, ingest.ContentType))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
+	if err != nil {
+		s.requestError(w, err)
+		return
+	}
+	batches, records, err := ingest.ParseRequest(body)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, err := s.plane.Admit(records)
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	defer release()
+	applied, err := s.plane.Submit(batches)
+	if err != nil {
+		// The applied prefix is durable and buffered; the failed tail is
+		// neither logged nor visible and must be retried by the client.
+		s.error(w, http.StatusInternalServerError,
+			fmt.Sprintf("persisting: %v (%d of %d batches applied)", err, applied, len(batches)))
+		return
+	}
+	s.json(w, http.StatusAccepted, binaryIngestResponse{
+		Accepted: records,
+		Batches:  len(batches),
+		Pending:  s.eng.Pending(),
+	})
+}
+
+// shed answers a load-shed rejection: 429 with a Retry-After header and
+// a JSON body naming the exceeded budget.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	var se *ingest.ShedError
+	if !errors.As(err, &se) {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	secs := int(math.Ceil(se.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.json(w, http.StatusTooManyRequests, map[string]any{
+		"error":               se.Error(),
+		"cause":               se.Cause,
+		"retry_after_seconds": secs,
+	})
+}
+
+// requestError maps a body-read failure to its status: 413 when the
+// configured ingest body limit was exceeded, 400 otherwise.
+func (s *Server) requestError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.error(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte ingest limit", tooLarge.Limit))
+		return
+	}
+	s.error(w, http.StatusBadRequest, err.Error())
 }
 
 // validate rejects records an attacker could use to poison the stores:
@@ -359,6 +493,25 @@ type statsResponse struct {
 	CandidateIndex     *candidateIndexJSON `json:"candidate_index,omitempty"`
 	EdgeStore          *edgeStoreJSON      `json:"edge_store,omitempty"`
 	Storage            *storageStatsJSON   `json:"storage,omitempty"`
+	Ingest             *ingestStatsJSON    `json:"ingest,omitempty"`
+}
+
+// ingestStatsJSON is the wire form of the shared ingest-plane state:
+// configured budgets, instantaneous queue occupancy, and accept/shed
+// counters since boot (see ingest.Plane).
+type ingestStatsJSON struct {
+	QueueDepth      int     `json:"queue_depth"`
+	ShedAfterMs     float64 `json:"shed_after_ms"`
+	RetryAfterMs    float64 `json:"retry_after_ms"`
+	InflightRecords int     `json:"inflight_records"`
+	PendingRecords  int     `json:"pending_records"`
+	OldestWaitMs    float64 `json:"oldest_wait_ms"`
+	AcceptedBatches uint64  `json:"accepted_batches"`
+	AcceptedRecords uint64  `json:"accepted_records"`
+	ShedRequests    uint64  `json:"shed_requests"`
+	ShedRecords     uint64  `json:"shed_records"`
+	ShedQueueDepth  uint64  `json:"shed_queue_depth"`
+	ShedLatency     uint64  `json:"shed_latency"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
@@ -413,6 +566,21 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 			RescoredTotal:   st.EdgeRescoredTotal,
 			DroppedTotal:    st.EdgeDroppedTotal,
 		}
+	}
+	ist := s.plane.Stats()
+	resp.Ingest = &ingestStatsJSON{
+		QueueDepth:      ist.QueueDepth,
+		ShedAfterMs:     float64(ist.ShedAfter.Microseconds()) / 1000,
+		RetryAfterMs:    float64(ist.RetryAfter.Microseconds()) / 1000,
+		InflightRecords: ist.InflightRecords,
+		PendingRecords:  ist.PendingRecords,
+		OldestWaitMs:    float64(ist.OldestWait.Microseconds()) / 1000,
+		AcceptedBatches: ist.AcceptedBatches,
+		AcceptedRecords: ist.AcceptedRecords,
+		ShedRequests:    ist.ShedRequests,
+		ShedRecords:     ist.ShedRecords,
+		ShedQueueDepth:  ist.ShedQueueDepth,
+		ShedLatency:     ist.ShedLatency,
 	}
 	if s.store != nil {
 		sst := s.store.Stats()
@@ -470,11 +638,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
 	s.json(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// decodeJSON strictly decodes one JSON body into v.
-func decodeJSON(req *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(req.Body, MaxIngestBody))
+// decodeJSON strictly decodes one JSON body into v, honoring the
+// configured ingest body limit (the caller maps *http.MaxBytesError to
+// 413 via requestError).
+func (s *Server) decodeJSON(w http.ResponseWriter, req *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return tooLarge
+		}
 		return fmt.Errorf("bad json: %w", err)
 	}
 	if dec.More() {

@@ -55,9 +55,24 @@ func appendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// errTornFrame reports an incomplete or corrupt frame — the expected
-// shape of a crash mid-append at a log tail.
-var errTornFrame = errors.New("storage: torn frame")
+// AppendFrame appends one CRC-framed payload to dst — the frame format
+// shared by WAL segments, snapshot sections, and the binary ingest wire
+// (application/x-slim-frame request bodies are a sequence of these).
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// ErrTornFrame reports an incomplete or corrupt frame — the expected
+// shape of a crash mid-append at a log tail, or of a truncated ingest
+// request body.
+var ErrTornFrame = errors.New("storage: torn frame")
+
+// errTornFrame is the internal alias (predates the export).
+var errTornFrame = ErrTornFrame
+
+// NextFrame slices one frame off buf, returning the payload and the
+// rest. It returns ErrTornFrame when buf ends mid-frame or the checksum
+// does not match: replay treats that as end-of-log, the ingest edge as a
+// malformed request.
+func NextFrame(buf []byte) (payload, rest []byte, err error) { return nextFrame(buf) }
 
 // nextFrame slices one frame off buf, returning the payload and the rest.
 // It returns errTornFrame when buf ends mid-frame or the checksum does
@@ -220,6 +235,50 @@ func appendBatch(dst []byte, b Batch) []byte {
 	dst = binary.AppendUvarint(dst, b.Seq)
 	dst = append(dst, b.Tag)
 	return appendRecords(dst, b.Recs)
+}
+
+// WireBatch is one batch of the binary ingest wire format: the dataset
+// tag plus the records, with RecordBytes holding the records' encoded
+// form exactly as it will be appended to the WAL (Store.LogEncoded).
+type WireBatch struct {
+	Tag         byte // TagE or TagI
+	RecordBytes []byte
+	Recs        []slim.Record
+}
+
+// AppendWireBatch appends the binary-ingest wire form of one batch to
+// dst: the dataset tag byte followed by the appendRecords encoding. This
+// is exactly the WAL batch payload minus its sequence prefix, which is
+// what lets the server turn an accepted wire batch into a WAL append
+// without re-encoding a single record. Encoding quantizes coordinates to
+// the codec's E7 fixed point, so a decoded wire batch is already on the
+// QuantizeRecord grid — binary and JSON ingest of the same records
+// converge on identical engine state.
+func AppendWireBatch(dst []byte, tag byte, recs []slim.Record) []byte {
+	dst = append(dst, tag)
+	return appendRecords(dst, recs)
+}
+
+// DecodeWireBatch decodes one binary-ingest wire batch payload (the
+// contents of one request frame). The returned RecordBytes aliases
+// payload.
+func DecodeWireBatch(payload []byte) (WireBatch, error) {
+	if len(payload) == 0 {
+		return WireBatch{}, fmt.Errorf("%w: empty batch", errCorrupt)
+	}
+	b := WireBatch{Tag: payload[0], RecordBytes: payload[1:]}
+	if b.Tag != TagE && b.Tag != TagI {
+		return WireBatch{}, fmt.Errorf("%w: unknown dataset tag %q", errCorrupt, b.Tag)
+	}
+	r := &byteReader{buf: b.RecordBytes}
+	b.Recs = r.readRecords()
+	if r.err != nil {
+		return WireBatch{}, r.err
+	}
+	if len(r.buf) != 0 {
+		return WireBatch{}, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(r.buf))
+	}
+	return b, nil
 }
 
 // decodeBatch decodes a WAL batch payload.

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"log"
 	"os"
@@ -114,10 +115,42 @@ func (s *Store) log(tag byte, recs []slim.Record) error {
 		return ErrClosed
 	}
 	payload := appendBatch(nil, Batch{Seq: s.nextSeq, Tag: tag, Recs: recs})
-	wait, err := s.wal.Append(payload)
+	wait, err := s.appendLocked(payload, tag, recs)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// LogEncoded durably logs one pre-encoded record batch — the binary
+// ingest plane's zero re-encode path. recordBytes is a wire batch's
+// record section (storage.WireBatch.RecordBytes), appended to the WAL
+// verbatim under a fresh sequence prefix; recs must be its decoded form
+// (the codec quantizes at encode time, so they are already on the
+// QuantizeRecord grid — see AppendWireBatch). The returned wait blocks
+// until the batch is durable per the fsync policy, letting a caller
+// append several batches under one group-commit window before waiting.
+func (s *Store) LogEncoded(tag byte, recordBytes []byte, recs []slim.Record) (wait func() error, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	payload := make([]byte, 0, binary.MaxVarintLen64+1+len(recordBytes))
+	payload = binary.AppendUvarint(payload, s.nextSeq)
+	payload = append(payload, tag)
+	payload = append(payload, recordBytes...)
+	return s.appendLocked(payload, tag, recs)
+}
+
+// appendLocked appends one already-sequenced batch payload to the WAL
+// and advances the in-memory state (stream buffers, sequence, counters).
+// Called with mu held; unlocks it on every path.
+func (s *Store) appendLocked(payload []byte, tag byte, recs []slim.Record) (wait func() error, err error) {
+	wait, err = s.wal.Append(payload)
 	if err != nil {
 		s.mu.Unlock()
-		return err
+		return nil, err
 	}
 	s.nextSeq++
 	if tag == TagE {
@@ -131,7 +164,7 @@ func (s *Store) log(tag byte, recs []slim.Record) error {
 	s.batchesLogged.Add(1)
 	s.recordsLogged.Add(uint64(len(recs)))
 	s.walBytes.Add(int64(len(payload)) + frameHeaderLen)
-	return wait()
+	return wait, nil
 }
 
 // AfterRun captures the published result and auto-checkpoints when the

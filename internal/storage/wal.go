@@ -306,6 +306,14 @@ func listSegments(dir string) ([]segmentFile, error) {
 	return segs, nil
 }
 
+// ReplayWAL walks every committed batch in dir's write-ahead log with
+// Seq > fromSeq, in sequence order. Exported for audit tooling and
+// cross-package tests that account for exactly which records the log
+// holds (e.g. proving shed ingest was never half-applied).
+func ReplayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64, batches int, err error) {
+	return replayWAL(dir, fromSeq, fn)
+}
+
 // replayWAL scans every segment in order and calls fn for each decoded
 // batch with Seq > fromSeq. A torn frame ends a segment's replay (the
 // expected crash artifact — appends are sequential, so nothing committed
