@@ -8,12 +8,14 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -150,14 +152,19 @@ func startSlimd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 	}
 	t.Cleanup(func() { cmd.Process.Kill() })
 
-	// The service logs its bound address once it is serving.
+	// The service logs its bound address once it is serving: a structured
+	// line with msg=listening and the addr attribute (the debug server's
+	// line has a different, quoted msg and never matches).
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				rest := line[i+len("listening on "):]
+			if !strings.Contains(line, "msg=listening ") {
+				continue
+			}
+			if i := strings.Index(line, "addr="); i >= 0 {
+				rest := line[i+len("addr="):]
 				if j := strings.Index(rest, " "); j > 0 {
 					rest = rest[:j]
 				}
@@ -229,6 +236,59 @@ func TestCLISlimd(t *testing.T) {
 	}
 	if code := get("/v1/stats", &stats); code != 200 || stats.Shards != 2 || stats.Runs == 0 {
 		t.Fatalf("GET /v1/stats = %d, %+v", code, stats)
+	}
+
+	// Freshness tracing end to end: ingest one batch over HTTP, force a
+	// relink, and require the ingest-to-visible histogram to have counted
+	// it and the staleness gauge to be back at ~0 (pipeline quiesced).
+	getMetrics := func() string {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET /metrics = %d", resp.StatusCode)
+		}
+		return sb.String()
+	}
+	metric := func(body, sample string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if rest, found := strings.CutPrefix(line, sample+" "); found {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("bad value for %s: %q", sample, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s absent from /metrics", sample)
+		return 0
+	}
+	before := metric(getMetrics(), "slim_ingest_to_visible_seconds_count")
+	body := strings.NewReader(`{"records":[{"entity":"fresh-1","lat":40.7,"lng":-74.0,"unix":1700000000}]}`)
+	if resp, err := http.Post(base+"/v1/datasets/e/records", "application/json", body); err != nil || resp.StatusCode != 202 {
+		t.Fatalf("ingest: %v (status %d)", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(base+"/v1/link", "application/json", nil); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("relink: %v (status %d)", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	after := getMetrics()
+	if count := metric(after, "slim_ingest_to_visible_seconds_count"); count <= before {
+		t.Errorf("slim_ingest_to_visible_seconds_count = %v, want > %v after ingest+relink", count, before)
+	}
+	if stale := metric(after, "slim_link_staleness_seconds"); stale > 1 {
+		t.Errorf("slim_link_staleness_seconds = %v after quiesce, want ~0", stale)
 	}
 
 	// Graceful shutdown on SIGTERM.

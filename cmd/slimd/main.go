@@ -27,7 +27,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the debug mux
@@ -39,22 +39,31 @@ import (
 	"slim"
 	"slim/internal/engine"
 	"slim/internal/ingest"
+	"slim/internal/obs"
 	"slim/internal/server"
 	"slim/internal/storage"
 )
 
+// fatal logs at error level and exits — the slog equivalent of
+// log.Fatal, kept explicit so every exit path still emits one line.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof and expvar (e.g. localhost:6060)")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof, expvar, and /metrics (e.g. localhost:6060)")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
 		shards    = flag.Int("shards", 4, "number of linker shards")
 		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
 		ePath     = flag.String("e", "", "optional seed CSV for the first dataset")
 		iPath     = flag.String("i", "", "optional seed CSV for the second dataset")
 
-		queueDepth   = flag.Int("ingest-queue-depth", ingest.DefaultQueueDepth, "shed ingest once this many records are queued (inflight + pending relink)")
-		shedAfter    = flag.Duration("ingest-shed-after", ingest.DefaultShedAfter, "shed ingest once the oldest queued record has waited this long (<0 = never)")
-		maxBody      = flag.Int64("max-ingest-body", server.MaxIngestBody, "maximum ingest request body in bytes (JSON and binary); larger bodies get 413")
+		queueDepth = flag.Int("ingest-queue-depth", ingest.DefaultQueueDepth, "shed ingest once this many records are queued (inflight + pending relink)")
+		shedAfter  = flag.Duration("ingest-shed-after", ingest.DefaultShedAfter, "shed ingest once the oldest queued record has waited this long (<0 = never)")
+		maxBody    = flag.Int64("max-ingest-body", server.MaxIngestBody, "maximum ingest request body in bytes (JSON and binary); larger bodies get 413")
 
 		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
 		fsyncInterval = flag.Duration("fsync-interval", storage.DefaultFsyncInterval, "WAL group-commit window (0 = fsync every append, <0 = never fsync)")
@@ -76,7 +85,22 @@ func main() {
 		lshBuckets   = flag.Int("lsh-buckets", 4096, "LSH buckets per band")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "slimd: ", log.LstdFlags)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "slimd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	// One registry for the whole process: engine, storage, ingest plane,
+	// and HTTP server all record into it, and both the serving address
+	// (GET /metrics) and the debug address expose it.
+	registry := obs.NewRegistry()
 
 	cfg := slim.Config{
 		WindowMinutes:    *window,
@@ -99,17 +123,18 @@ func main() {
 
 	dsE, err := readSeed(*ePath, "E")
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "loading seed", "error", err)
 	}
 	dsI, err := readSeed(*iPath, "I")
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "loading seed", "error", err)
 	}
 
 	engCfg := engine.Config{
 		Shards:   *shards,
 		Link:     cfg,
 		Debounce: *debounce,
+		Registry: registry,
 	}
 	var eng *engine.Engine
 	var store *storage.Store
@@ -120,23 +145,29 @@ func main() {
 			SnapshotEveryRuns: *snapshotEvery,
 			SnapshotBytes:     *snapshotBytes,
 			Logger:            logger,
+			Registry:          registry,
 		})
 		if err != nil {
-			logger.Fatal(err)
+			fatal(logger, "recovering data directory", "dir", *dataDir, "error", err)
 		}
 		if info.Recovered {
-			logger.Printf("recovered %s: snapshot through seq %d, %d batches (%d records) replayed from WAL; %d seed + %d streamed records",
-				*dataDir, info.SnapshotSeq, info.ReplayedBatches, info.ReplayedRecords, info.SeedRecords, info.StreamedRecords)
+			logger.Info("recovered data directory",
+				"dir", *dataDir,
+				"snapshot_seq", info.SnapshotSeq,
+				"replayed_batches", info.ReplayedBatches,
+				"replayed_records", info.ReplayedRecords,
+				"seed_records", info.SeedRecords,
+				"streamed_records", info.StreamedRecords)
 			if *ePath != "" || *iPath != "" {
-				logger.Printf("note: -e/-i seed flags ignored; %s already holds persisted seeds", *dataDir)
+				logger.Info("seed flags ignored; data directory already holds persisted seeds", "dir", *dataDir)
 			}
 		} else {
-			logger.Printf("initialized data directory %s", *dataDir)
+			logger.Info("initialized data directory", "dir", *dataDir)
 		}
 	} else {
 		eng, err = engine.New(dsE, dsI, engCfg)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(logger, "building engine", "error", err)
 		}
 	}
 	eng.Start()
@@ -147,7 +178,7 @@ func main() {
 		eng.Close()
 		if store != nil {
 			if err := store.Close(); err != nil {
-				logger.Printf("closing storage: %v", err)
+				logger.Error("closing storage", "error", err)
 			}
 		}
 	}()
@@ -158,20 +189,25 @@ func main() {
 	// seed datasets, or recovered state whose replayed WAL tail
 	// invalidated the snapshot result.
 	if res, _, ok := eng.Result(); ok {
-		logger.Printf("serving recovered linkage: %d links at threshold %.4g", len(res.Links), res.Threshold)
+		logger.Info("serving recovered linkage", "links", len(res.Links), "threshold", res.Threshold)
 	} else if st := eng.Stats(); st.EntitiesE+st.EntitiesI > 0 || eng.Pending() > 0 {
 		res := eng.Run()
-		logger.Printf("boot linkage: %d links (of %d matched) at threshold %.4g in %v",
-			len(res.Links), len(res.Matched), res.Threshold, res.Elapsed)
+		logger.Info("boot linkage",
+			"links", len(res.Links),
+			"matched", len(res.Matched),
+			"threshold", res.Threshold,
+			"elapsed", res.Elapsed)
 	}
 
 	plane := ingest.NewPlane(eng, ingest.Config{
 		QueueDepth: *queueDepth,
 		ShedAfter:  *shedAfter,
+		Registry:   registry,
 	})
 	srv := server.New(eng, logger,
 		server.WithIngestPlane(plane),
 		server.WithMaxIngestBody(*maxBody),
+		server.WithRegistry(registry),
 	)
 	if store != nil {
 		srv.AttachStore(store)
@@ -220,22 +256,27 @@ func main() {
 		if store != nil {
 			expvar.Publish("slim_storage", expvar.Func(func() any { return store.Stats() }))
 		}
+		// The Prometheus exposition rides the debug mux too, so operators
+		// scraping only the debug port see the same registry as /metrics on
+		// the serving address.
+		http.DefaultServeMux.Handle("GET /metrics", registry.Handler())
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(logger, "debug listen failed", "addr", *debugAddr, "error", err)
 		}
-		logger.Printf("debug server listening on %s (/debug/pprof/, /debug/vars)", dln.Addr())
+		logger.Info("debug server listening", "addr", dln.Addr().String(),
+			"endpoints", "/debug/pprof/ /debug/vars /metrics")
 		go func() {
 			dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
 			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("debug server: %v", err)
+				logger.Error("debug server", "error", err)
 			}
 		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "listen failed", "addr", *addr, "error", err)
 	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -247,20 +288,23 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	logger.Printf("listening on %s (%d shards, spatial level %d, debounce %v)",
-		ln.Addr(), eng.NumShards(), eng.SpatialLevel(), *debounce)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"shards", eng.NumShards(),
+		"spatial_level", eng.SpatialLevel(),
+		"debounce", *debounce)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Fatal(err)
+			fatal(logger, "serve failed", "error", err)
 		}
 	case <-ctx.Done():
-		logger.Print("shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"slim"
 )
@@ -88,6 +89,45 @@ func main() {
 	post(*addr+"/v1/link", nil, &run)
 	fmt.Printf("relinked after re-observing %d records in %.1fms\n", len(burst), run.ElapsedMs)
 	printIncrementalStats(*addr, "after incremental burst")
+
+	// The same numbers (and ~25 more families) are exported in Prometheus
+	// text form for scraping; show the freshness and stage-timing excerpt.
+	printMetricsExcerpt(*addr)
+}
+
+// printMetricsExcerpt scrapes GET /metrics and prints the observability
+// headline: end-to-end freshness (ingest -> link-visible latency and the
+// current staleness watermark) plus the per-stage relink breakdown.
+func printMetricsExcerpt(addr string) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		fatal(fmt.Errorf("GET %s/metrics: %s", addr, resp.Status))
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		fatal(err)
+	}
+	fmt.Println("metrics excerpt (GET /metrics):")
+	keep := []string{
+		"slim_ingest_to_visible_seconds_sum",
+		"slim_ingest_to_visible_seconds_count",
+		"slim_link_staleness_seconds",
+		"slim_relink_seconds_sum",
+		"slim_relink_seconds_count",
+		"slim_relink_stage_seconds_sum",
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		for _, prefix := range keep {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
 }
 
 // printIncrementalStats fetches /v1/stats and prints the edge-store and

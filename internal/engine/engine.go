@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"slim"
+	"slim/internal/obs"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero.
@@ -52,6 +53,12 @@ type Config struct {
 	// Debounce is how long ingest must stay quiet before a started
 	// background scheduler triggers a relink (default DefaultDebounce).
 	Debounce time.Duration
+	// Registry, when set, receives the engine metrics: relink run and
+	// per-stage latency histograms, the ingest-to-link-visible freshness
+	// histogram and staleness gauge, and counter/gauge views over the
+	// same atomics Stats reports. A nil Registry wires the metrics to a
+	// private, unscraped registry, so instrumentation is always on.
+	Registry *obs.Registry
 }
 
 // shard owns one Linker over a hash partition of the E entities plus a
@@ -196,6 +203,8 @@ type Engine struct {
 	edgeRetained  atomic.Uint64
 	edgeDropped   atomic.Uint64
 
+	metrics *engMetrics
+
 	kick   chan struct{}
 	stopCh chan struct{}
 	done   chan struct{}
@@ -205,6 +214,115 @@ type Engine struct {
 	lifeMu  sync.Mutex
 	started bool
 	closed  bool
+}
+
+// engMetrics are the engine's native instruments: run and stage latency
+// histograms plus the freshness tracer. Counter/gauge views over the
+// engine's existing atomics are registered alongside them (newEngMetrics)
+// so /metrics and Stats read the same state.
+type engMetrics struct {
+	relinkSeconds *obs.Histogram
+	// Stage histograms cover one relink each: draining pending ingest
+	// (apply), the incremental candidate-index updates inside the dirty
+	// shards (candidate_index, carved out of rescore), the parallel
+	// dirty-shard rescoring wall time (rescore), edge merging (merge),
+	// global matching (match), and threshold selection (threshold).
+	stageApply, stageIndex, stageRescore   *obs.Histogram
+	stageMerge, stageMatch, stageThreshold *obs.Histogram
+	ingestToVisible                        *obs.Histogram
+	fresh                                  *obs.Freshness
+}
+
+func stageHist(reg *obs.Registry, stage string) *obs.Histogram {
+	return reg.Histogram("slim_relink_stage_seconds",
+		"Wall time of one relink stage (labelled); candidate_index is the summed incremental index update time inside rescore.",
+		nil, obs.L("stage", stage))
+}
+
+func newEngMetrics(reg *obs.Registry, e *Engine) *engMetrics {
+	m := &engMetrics{
+		relinkSeconds: reg.Histogram("slim_relink_seconds",
+			"Wall time of one complete relink run (drain, rescore, merge, match, threshold, publish).", nil),
+		stageApply:     stageHist(reg, "apply"),
+		stageIndex:     stageHist(reg, "candidate_index"),
+		stageRescore:   stageHist(reg, "rescore"),
+		stageMerge:     stageHist(reg, "merge"),
+		stageMatch:     stageHist(reg, "match"),
+		stageThreshold: stageHist(reg, "threshold"),
+		ingestToVisible: reg.Histogram("slim_ingest_to_visible_seconds",
+			"Time from a batch's acknowledged ingest until a published relink made it link-visible.", nil),
+	}
+	m.fresh = obs.NewFreshness(m.ingestToVisible)
+	reg.GaugeFunc("slim_link_staleness_seconds",
+		"Age of the oldest acknowledged batch not yet link-visible (0 when the pipeline is drained).",
+		m.fresh.Staleness)
+	reg.GaugeFunc("slim_ingest_acked_seq",
+		"Latest acknowledged-and-buffered ingest batch sequence.",
+		func() float64 { return float64(m.fresh.AckedSeq()) })
+	reg.GaugeFunc("slim_link_visible_seq",
+		"Newest ingest batch sequence whose records are link-visible.",
+		func() float64 { return float64(m.fresh.VisibleSeq()) })
+	reg.CounterFunc("slim_relink_runs_total",
+		"Completed relink runs (including short-circuited ones).", e.runs.Load)
+	reg.CounterFunc("slim_relink_short_circuits_total",
+		"Fully-clean relink runs that republished the cached result.", e.shortCircuits.Load)
+	reg.CounterFunc("slim_relink_pairs_rescored_total",
+		"Candidate pairs rescored across all rescored shards since boot.", e.edgeRescored.Load)
+	reg.CounterFunc("slim_relink_pairs_retained_total",
+		"Edge-store pairs retained without rescoring since boot (scoring work avoided).", e.edgeRetained.Load)
+	reg.CounterFunc("slim_relink_pairs_dropped_total",
+		"Edge-store pairs dropped since boot.", e.edgeDropped.Load)
+	reg.GaugeFunc("slim_relink_dirty_shards",
+		"Shards the latest relink actually rescored.",
+		func() float64 { return float64(e.lastDirtyShards.Load()) })
+	reg.GaugeFunc("slim_pending_records",
+		"Buffered records awaiting the next relink (an I record pending on k shards counts k times).",
+		func() float64 { return float64(e.Pending()) })
+	reg.GaugeFunc("slim_pending_oldest_seconds",
+		"Age of the oldest buffered record awaiting a relink.",
+		func() float64 {
+			oldest, ok := e.OldestPending()
+			if !ok {
+				return 0
+			}
+			return time.Since(oldest).Seconds()
+		})
+	reg.CounterFunc("slim_ingested_records_total",
+		"Records accepted since construction, by dataset.",
+		e.ingestedE.Load, obs.L("dataset", "e"))
+	reg.CounterFunc("slim_ingested_records_total",
+		"Records accepted since construction, by dataset.",
+		e.ingestedI.Load, obs.L("dataset", "i"))
+	reg.GaugeFunc("slim_entities",
+		"Entities with applied histories, by dataset.",
+		func() float64 {
+			n := 0
+			for _, sh := range e.shards {
+				n += int(sh.entE.Load())
+			}
+			return float64(n)
+		}, obs.L("dataset", "e"))
+	reg.GaugeFunc("slim_entities",
+		"Entities with applied histories, by dataset.",
+		func() float64 { return float64(e.shards[0].entI.Load()) }, obs.L("dataset", "i"))
+	reg.GaugeFunc("slim_links",
+		"Links in the current published result.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if e.cur == nil {
+				return 0
+			}
+			return float64(len(e.cur.Links))
+		})
+	reg.GaugeFunc("slim_link_version",
+		"Version of the current published result.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.version)
+		})
+	return m
 }
 
 // New builds an engine seeded with the given datasets (either may be
@@ -297,6 +415,11 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 		}(sh)
 	}
 	wg.Wait()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.metrics = newEngMetrics(reg, e)
 	return e, nil
 }
 
@@ -389,6 +512,10 @@ func (e *Engine) BufferE(recs ...slim.Record) {
 		}
 	}
 	e.ingestedE.Add(uint64(len(recs)))
+	// Acked AFTER buffering: every sequence at or below a freshness mark
+	// taken before a drain is guaranteed to be in the shard queues, so the
+	// relink that drains them may legally declare them link-visible.
+	e.metrics.fresh.Acked(time.Now())
 	e.scheduleRelink()
 }
 
@@ -402,6 +529,7 @@ func (e *Engine) BufferI(recs ...slim.Record) {
 		sh.buffer(false, recs)
 	}
 	e.ingestedI.Add(uint64(len(recs)))
+	e.metrics.fresh.Acked(time.Now()) // after buffering; see BufferE
 	e.scheduleRelink()
 }
 
@@ -434,6 +562,10 @@ func (e *Engine) Run() slim.Result {
 	for _, sh := range e.shards {
 		sh.runMu.Lock()
 	}
+	// The freshness mark is taken before the drain below, so every batch
+	// acknowledged at or below it is already sitting in the shard queues
+	// and will be link-visible once this run publishes.
+	mark := e.metrics.fresh.Mark()
 	dirty := make([]bool, len(e.shards))
 	var wg sync.WaitGroup
 	for s, sh := range e.shards {
@@ -444,6 +576,7 @@ func (e *Engine) Run() slim.Result {
 		}(s, sh)
 	}
 	wg.Wait()
+	e.metrics.stageApply.ObserveSince(start)
 
 	// Fully-clean short-circuit: when no shard has work and a result is
 	// already published, re-matching and re-thresholding the identical
@@ -473,6 +606,12 @@ func (e *Engine) Run() slim.Result {
 			e.mu.Lock()
 			e.lastRun = time.Now()
 			e.mu.Unlock()
+			// The republished result still covers every drained batch, so
+			// the freshness watermark advances here too — staleness must
+			// return to zero after a quiesce, not stick at the last ack.
+			now := time.Now()
+			e.metrics.fresh.Visible(mark, now)
+			e.metrics.relinkSeconds.Observe(now.Sub(start).Seconds())
 			return *cur
 		}
 	}
@@ -485,6 +624,7 @@ func (e *Engine) Run() slim.Result {
 	for _, sh := range e.shards {
 		totalE += len(sh.lk.EntitiesE())
 	}
+	rescoreStart := time.Now()
 	nDirty := 0
 	for s, sh := range e.shards {
 		if !dirty[s] {
@@ -498,6 +638,19 @@ func (e *Engine) Run() slim.Result {
 		}(sh)
 	}
 	wg.Wait()
+	e.metrics.stageRescore.ObserveSince(rescoreStart)
+	// The incremental candidate-index update runs inside rescore; its cost
+	// is reported separately as the sum of the dirty shards' index update
+	// times (serial work, a subset of the parallel rescore wall time).
+	var idxTime time.Duration
+	for s, sh := range e.shards {
+		if dirty[s] {
+			if ix := sh.idx.Load(); ix != nil {
+				idxTime += ix.LastUpdate
+			}
+		}
+	}
+	e.metrics.stageIndex.Observe(idxTime.Seconds())
 	e.lastDirtyShards.Store(int64(nDirty))
 	// Clean shards performed no index or edge-store update this run: zero
 	// the last-* fields of their mirrors so the aggregated CandidateIndex
@@ -520,6 +673,7 @@ func (e *Engine) Run() slim.Result {
 	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
 	// result and sum over every shard; the comparison counters report work
 	// and sum only over the shards this run actually re-scored.
+	mergeStart := time.Now()
 	var all []slim.Link
 	var stats slim.Stats
 	for s, sh := range e.shards {
@@ -565,9 +719,14 @@ func (e *Engine) Run() slim.Result {
 	for _, sh := range e.shards {
 		sh.runMu.Unlock()
 	}
+	e.metrics.stageMerge.ObserveSince(mergeStart)
 
+	matchStart := time.Now()
 	matched := slim.MatchLinks(e.cfg.Link.Matcher, all)
+	e.metrics.stageMatch.ObserveSince(matchStart)
+	thrStart := time.Now()
 	thr := slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
+	e.metrics.stageThreshold.ObserveSince(thrStart)
 	res := slim.Result{
 		Links:           slim.FilterLinks(matched, thr.Threshold),
 		Matched:         matched,
@@ -585,6 +744,12 @@ func (e *Engine) Run() slim.Result {
 	version := e.version
 	e.lastRun = time.Now()
 	e.mu.Unlock()
+
+	// The result is published: every batch acknowledged before the drain
+	// is now link-visible to queries.
+	now := time.Now()
+	e.metrics.fresh.Visible(mark, now)
+	e.metrics.relinkSeconds.Observe(now.Sub(start).Seconds())
 
 	// Give the persister the published result (still under runMu, so
 	// checkpoints are serialized against the next relink).

@@ -39,6 +39,7 @@ import (
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/obs"
 	"slim/internal/storage"
 )
 
@@ -63,6 +64,10 @@ type Config struct {
 	QueueDepth int
 	ShedAfter  time.Duration
 	RetryAfter time.Duration
+	// Registry, when set, receives counter/gauge views over the same
+	// atomics Stats reports (admissions, sheds by cause, queue state). A
+	// nil Registry wires them to a private, unscraped registry.
+	Registry *obs.Registry
 }
 
 func (c Config) queueDepth() int {
@@ -138,7 +143,40 @@ type Plane struct {
 // binary path buffers records exactly like the JSON path without a data
 // directory.
 func NewPlane(eng *engine.Engine, cfg Config) *Plane {
-	return &Plane{eng: eng, cfg: cfg}
+	p := &Plane{eng: eng, cfg: cfg}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.CounterFunc("slim_ingest_accepted_batches_total",
+		"Ingest batches durably applied, across the binary and JSON planes.",
+		p.acceptedBatches.Load)
+	reg.CounterFunc("slim_ingest_accepted_records_total",
+		"Ingest records durably applied, across the binary and JSON planes.",
+		p.acceptedRecords.Load)
+	reg.CounterFunc("slim_ingest_shed_requests_total",
+		"Requests refused whole by admission control, by exceeded budget.",
+		p.shedDepth.Load, obs.L("cause", "queue-depth"))
+	reg.CounterFunc("slim_ingest_shed_requests_total",
+		"Requests refused whole by admission control, by exceeded budget.",
+		p.shedLatency.Load, obs.L("cause", "latency"))
+	reg.CounterFunc("slim_ingest_shed_records_total",
+		"Records inside shed requests (nothing was logged or buffered).",
+		p.shedRecords.Load)
+	reg.GaugeFunc("slim_ingest_inflight_records",
+		"Admitted records not yet released (waiting on WAL durability).",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.inflight)
+		})
+	reg.GaugeFunc("slim_ingest_oldest_wait_seconds",
+		"Age of the oldest record queued anywhere in the pipeline (the latency-budget input).",
+		func() float64 { return p.Stats().OldestWait.Seconds() })
+	reg.GaugeFunc("slim_ingest_queue_depth_limit",
+		"Configured admission budget in resident records.",
+		func() float64 { return float64(cfg.queueDepth()) })
+	return p
 }
 
 // AttachLogger wires the durable append path in. Call before serving.

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition media type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// format, in registration order. Func metrics are evaluated inline; they
+// must not call back into the registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, s *series) {
+	switch s.kind {
+	case kindCounter:
+		v := uint64(0)
+		if s.cf != nil {
+			v = s.cf()
+		} else if s.c != nil {
+			v = s.c.Value()
+		}
+		writeSample(bw, name, s.labels, "", strconv.FormatUint(v, 10))
+	case kindGauge:
+		v := float64(0)
+		if s.gf != nil {
+			v = s.gf()
+		} else if s.g != nil {
+			v = s.g.Value()
+		}
+		writeSample(bw, name, s.labels, "", formatFloat(v))
+	case kindHistogram:
+		h := s.h
+		if h == nil {
+			return
+		}
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			writeBucket(bw, name, s.labels, formatFloat(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		writeBucket(bw, name, s.labels, "+Inf", cum)
+		writeSample(bw, name, s.labels, "_sum", formatFloat(h.Sum()))
+		writeSample(bw, name, s.labels, "_count", strconv.FormatUint(h.Count(), 10))
+	}
+}
+
+// writeBucket emits one name_bucket{...,le="bound"} line, merging the
+// le label into the series' pre-rendered label set.
+func writeBucket(bw *bufio.Writer, name, labels, le string, v uint64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	if labels == "" {
+		bw.WriteString(`{le="`)
+	} else {
+		bw.WriteString(strings.TrimSuffix(labels, "}"))
+		bw.WriteString(`,le="`)
+	}
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatUint(v, 10))
+	bw.WriteByte('\n')
+}
+
+func writeSample(bw *bufio.Writer, name, labels, suffix, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler returns the GET /metrics endpoint over this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation gates are skipped under instrumentation (race-mode
+// atomics allocate) and re-run uninstrumented in a dedicated CI step.
+const raceEnabled = true

@@ -30,20 +30,25 @@
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"slim"
 	"slim/internal/engine"
 	"slim/internal/ingest"
+	"slim/internal/obs"
 	"slim/internal/storage"
 )
 
@@ -59,7 +64,9 @@ type Server struct {
 	plane   *ingest.Plane  // shared ingest admission + binary pipeline
 	maxBody int64
 	mux     *http.ServeMux
-	log     *log.Logger
+	log     *slog.Logger
+	reg     *obs.Registry
+	httpm   *httpMetrics
 	ready   atomic.Bool
 }
 
@@ -83,12 +90,21 @@ func WithIngestPlane(p *ingest.Plane) Option {
 	return func(s *Server) { s.plane = p }
 }
 
+// WithRegistry installs the process-wide metrics registry: the server
+// records per-route request latency/status/byte metrics into it and
+// serves its Prometheus exposition on GET /metrics. Without this option
+// the server uses a private registry (instrumentation stays on and
+// /metrics still serves, but only the server's own metrics appear).
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
 // New builds a server over the engine. logger may be nil to disable
 // request logging. The server starts not-ready: the process must call
 // SetReady once recovery and the initial seed link are done, so load
 // balancers watching /readyz never route to a node that is still
 // replaying its WAL.
-func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
+func New(eng *engine.Engine, logger *slog.Logger, opts ...Option) *Server {
 	s := &Server{eng: eng, maxBody: MaxIngestBody, mux: http.NewServeMux(), log: logger}
 	for _, o := range opts {
 		o(s)
@@ -96,6 +112,10 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	if s.plane == nil {
 		s.plane = ingest.NewPlane(eng, ingest.Config{})
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.httpm = newHTTPMetrics(s.reg)
 	s.mux.HandleFunc("POST /v1/datasets/{dataset}/records", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/ingest/batch", s.handleIngestBinary)
 	s.mux.HandleFunc("POST /v1/link", s.handleLink)
@@ -103,6 +123,7 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
 	s.mux.HandleFunc("GET /v1/links/{entity}", s.handleLinksFor)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -119,18 +140,18 @@ func (s *Server) AttachStore(st *storage.Store) {
 // SetReady marks the node ready for traffic (see New).
 func (s *Server) SetReady() { s.ready.Store(true) }
 
-// Handler returns the root handler (request logging included).
+// Handler returns the root handler (request-ID propagation, per-route
+// metrics, and request logging included).
 func (s *Server) Handler() http.Handler {
-	if s.log == nil {
-		return s.mux
-	}
-	return s.withLogging(s.mux)
+	return s.middleware(s.mux)
 }
 
-// statusRecorder captures the response status for the request log.
+// statusRecorder captures the response status and body size for the
+// request log and the per-route metrics.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -138,13 +159,176 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) withLogging(next http.Handler) http.Handler {
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// reqInfo is the middleware's per-request state, reachable from handlers
+// through the request context: the propagated request id and the ingest
+// admission outcome (accepted, shed_depth, shed_latency, too_large) the
+// handler settled on.
+type reqInfo struct {
+	id      string
+	outcome string
+}
+
+type ctxKey int
+
+const reqInfoKey ctxKey = 0
+
+// requestInfo returns the middleware state for req, or nil when the
+// handler is exercised without the middleware (direct mux tests).
+func requestInfo(req *http.Request) *reqInfo {
+	ri, _ := req.Context().Value(reqInfoKey).(*reqInfo)
+	return ri
+}
+
+func (s *Server) setOutcome(req *http.Request, outcome string) {
+	if ri := requestInfo(req); ri != nil {
+		ri.outcome = outcome
+	}
+}
+
+// requestID returns the propagated request id (empty without the
+// middleware).
+func requestID(req *http.Request) string {
+	if ri := requestInfo(req); ri != nil {
+		return ri.id
+	}
+	return ""
+}
+
+// maxRequestIDLen bounds an honored client-supplied X-Request-Id so a
+// hostile header cannot bloat logs.
+const maxRequestIDLen = 64
+
+// sanitizeRequestID reports whether a client-supplied id is safe to
+// propagate verbatim: bounded, printable ASCII, no spaces or quotes.
+func sanitizeRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// middleware wraps the mux with the cross-cutting request plumbing:
+// it honors (or generates) X-Request-Id and echoes it on the response,
+// records per-route latency/status/byte metrics, and emits one
+// structured log line per request including the ingest admission
+// outcome handlers report via setOutcome.
+func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		id := req.Header.Get("X-Request-Id")
+		if !sanitizeRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ri := &reqInfo{id: id}
+		req = req.WithContext(context.WithValue(req.Context(), reqInfoKey, ri))
+
+		// Resolve the route pattern before serving: the mux sets Pattern
+		// only on the clone it passes to the handler, not on our req.
+		_, route := s.mux.Handler(req)
+		if route == "" {
+			route = "unmatched"
+		}
+
+		s.httpm.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, req)
-		s.log.Printf("%s %s %d %s", req.Method, req.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		s.httpm.inflight.Add(-1)
+
+		elapsed := time.Since(start)
+		s.httpm.observe(route, rec.status, req.ContentLength, rec.bytes, elapsed)
+		if s.log != nil {
+			attrs := []any{
+				"method", req.Method,
+				"path", req.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"duration", elapsed.Round(time.Microsecond),
+				"request_id", id,
+			}
+			if ri.outcome != "" {
+				attrs = append(attrs, "outcome", ri.outcome)
+			}
+			s.log.Info("request", attrs...)
+		}
 	})
+}
+
+// httpMetrics records the server's per-route request metrics. Series are
+// created lazily per route (and route×status) and cached, so steady-state
+// requests update existing atomics without re-rendering labels.
+type httpMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+
+	mu     sync.Mutex
+	hists  map[string]*obs.Histogram // route → latency histogram
+	counts map[string]*obs.Counter   // route "\x00" status → counter
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		reg: reg,
+		inflight: reg.Gauge("slim_http_inflight_requests",
+			"Requests currently being served."),
+		bytesIn: reg.Counter("slim_http_request_bytes_total",
+			"Request body bytes received (per declared Content-Length)."),
+		bytesOut: reg.Counter("slim_http_response_bytes_total",
+			"Response body bytes written."),
+		hists:  make(map[string]*obs.Histogram),
+		counts: make(map[string]*obs.Counter),
+	}
+}
+
+func (m *httpMetrics) observe(route string, status int, reqBytes, respBytes int64, elapsed time.Duration) {
+	code := strconv.Itoa(status)
+	m.mu.Lock()
+	h, ok := m.hists[route]
+	if !ok {
+		h = m.reg.Histogram("slim_http_request_seconds",
+			"Request latency by route pattern.", nil, obs.L("route", route))
+		m.hists[route] = h
+	}
+	ck := route + "\x00" + code
+	c, ok := m.counts[ck]
+	if !ok {
+		c = m.reg.Counter("slim_http_requests_total",
+			"Requests served, by route pattern and status code.",
+			obs.L("route", route), obs.L("status", code))
+		m.counts[ck] = c
+	}
+	m.mu.Unlock()
+	h.Observe(elapsed.Seconds())
+	c.Inc()
+	if reqBytes > 0 {
+		m.bytesIn.Add(uint64(reqBytes))
+	}
+	if respBytes > 0 {
+		m.bytesOut.Add(uint64(respBytes))
+	}
 }
 
 // recordJSON is the wire form of one mobility record.
@@ -170,22 +354,22 @@ type ingestResponse struct {
 func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	ds := req.PathValue("dataset")
 	if ds != "e" && ds != "i" {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (want e or i)", ds))
+		s.error(w, req, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (want e or i)", ds))
 		return
 	}
 	var body ingestRequest
 	if err := s.decodeJSON(w, req, &body); err != nil {
-		s.requestError(w, err)
+		s.requestError(w, req, err)
 		return
 	}
 	if len(body.Records) == 0 {
-		s.error(w, http.StatusBadRequest, "no records in request")
+		s.error(w, req, http.StatusBadRequest, "no records in request")
 		return
 	}
 	recs := make([]slim.Record, len(body.Records))
 	for i, r := range body.Records {
 		if err := r.validate(); err != nil {
-			s.error(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
+			s.error(w, req, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
 			return
 		}
 		rec := slim.NewRecord(slim.EntityID(r.Entity), r.Lat, r.Lng, r.Unix)
@@ -196,7 +380,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	// is logged or buffered, so a 429'd batch is cleanly rejected.
 	release, err := s.plane.Admit(len(recs))
 	if err != nil {
-		s.shed(w, err)
+		s.shed(w, req, err)
 		return
 	}
 	defer release()
@@ -208,10 +392,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	if err != nil {
 		// The batch was not durably logged and was not buffered: the
 		// client must not treat it as accepted.
-		s.error(w, http.StatusInternalServerError, fmt.Sprintf("persisting batch: %v", err))
+		s.error(w, req, http.StatusInternalServerError, fmt.Sprintf("persisting batch: %v", err))
 		return
 	}
 	s.plane.NoteAccepted(1, len(recs))
+	s.setOutcome(req, "accepted")
 	s.json(w, http.StatusAccepted, ingestResponse{
 		Accepted: len(recs),
 		Dataset:  ds,
@@ -233,22 +418,22 @@ type binaryIngestResponse struct {
 // re-encode. The whole request is admitted or shed atomically.
 func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 	if ct := req.Header.Get("Content-Type"); ct != "" && ct != ingest.ContentType {
-		s.error(w, http.StatusUnsupportedMediaType, fmt.Sprintf("content type %q, want %s", ct, ingest.ContentType))
+		s.error(w, req, http.StatusUnsupportedMediaType, fmt.Sprintf("content type %q, want %s", ct, ingest.ContentType))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
 	if err != nil {
-		s.requestError(w, err)
+		s.requestError(w, req, err)
 		return
 	}
 	batches, records, err := ingest.ParseRequest(body)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+		s.error(w, req, http.StatusBadRequest, err.Error())
 		return
 	}
 	release, err := s.plane.Admit(records)
 	if err != nil {
-		s.shed(w, err)
+		s.shed(w, req, err)
 		return
 	}
 	defer release()
@@ -256,10 +441,11 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 	if err != nil {
 		// The applied prefix is durable and buffered; the failed tail is
 		// neither logged nor visible and must be retried by the client.
-		s.error(w, http.StatusInternalServerError,
+		s.error(w, req, http.StatusInternalServerError,
 			fmt.Sprintf("persisting: %v (%d of %d batches applied)", err, applied, len(batches)))
 		return
 	}
+	s.setOutcome(req, "accepted")
 	s.json(w, http.StatusAccepted, binaryIngestResponse{
 		Accepted: records,
 		Batches:  len(batches),
@@ -268,35 +454,46 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 }
 
 // shed answers a load-shed rejection: 429 with a Retry-After header and
-// a JSON body naming the exceeded budget.
-func (s *Server) shed(w http.ResponseWriter, err error) {
+// a JSON body naming the exceeded budget and the request id.
+func (s *Server) shed(w http.ResponseWriter, req *http.Request, err error) {
 	var se *ingest.ShedError
 	if !errors.As(err, &se) {
-		s.error(w, http.StatusInternalServerError, err.Error())
+		s.error(w, req, http.StatusInternalServerError, err.Error())
 		return
+	}
+	switch se.Cause {
+	case "queue-depth":
+		s.setOutcome(req, "shed_depth")
+	case "latency":
+		s.setOutcome(req, "shed_latency")
 	}
 	secs := int(math.Ceil(se.RetryAfter.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	s.json(w, http.StatusTooManyRequests, map[string]any{
+	body := map[string]any{
 		"error":               se.Error(),
 		"cause":               se.Cause,
 		"retry_after_seconds": secs,
-	})
+	}
+	if id := requestID(req); id != "" {
+		body["request_id"] = id
+	}
+	s.json(w, http.StatusTooManyRequests, body)
 }
 
 // requestError maps a body-read failure to its status: 413 when the
 // configured ingest body limit was exceeded, 400 otherwise.
-func (s *Server) requestError(w http.ResponseWriter, err error) {
+func (s *Server) requestError(w http.ResponseWriter, req *http.Request, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		s.error(w, http.StatusRequestEntityTooLarge,
+		s.setOutcome(req, "too_large")
+		s.error(w, req, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("request body exceeds the %d-byte ingest limit", tooLarge.Limit))
 		return
 	}
-	s.error(w, http.StatusBadRequest, err.Error())
+	s.error(w, req, http.StatusBadRequest, err.Error())
 }
 
 // validate rejects records an attacker could use to poison the stores:
@@ -368,7 +565,7 @@ type linksResponse struct {
 func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
 	res, version, ok := s.eng.Result()
 	if !ok {
-		s.error(w, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
+		s.error(w, req, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
 		return
 	}
 	links := res.Links
@@ -376,7 +573,7 @@ func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
 	if v := q.Get("min_score"); v != "" {
 		minScore, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "bad min_score")
+			s.error(w, req, http.StatusBadRequest, "bad min_score")
 			return
 		}
 		links = slim.FilterLinks(links, minScore)
@@ -384,12 +581,12 @@ func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
 	total := len(links)
 	offset, err := intParam(q.Get("offset"), 0)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "bad offset")
+		s.error(w, req, http.StatusBadRequest, "bad offset")
 		return
 	}
 	limit, err := intParam(q.Get("limit"), total)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "bad limit")
+		s.error(w, req, http.StatusBadRequest, "bad limit")
 		return
 	}
 	if offset > len(links) {
@@ -409,7 +606,7 @@ func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleLinksFor(w http.ResponseWriter, req *http.Request) {
 	if _, _, ok := s.eng.Result(); !ok {
-		s.error(w, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
+		s.error(w, req, http.StatusConflict, "no linkage run yet; POST /v1/link or wait for the background relink")
 		return
 	}
 	entity := req.PathValue("entity")
@@ -610,12 +807,12 @@ type snapshotResponse struct {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	if s.store == nil {
-		s.error(w, http.StatusServiceUnavailable, "no data directory configured (-data-dir)")
+		s.error(w, req, http.StatusServiceUnavailable, "no data directory configured (-data-dir)")
 		return
 	}
 	info, err := s.store.Checkpoint()
 	if err != nil {
-		s.error(w, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
+		s.error(w, req, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
 		return
 	}
 	s.json(w, http.StatusOK, snapshotResponse{
@@ -632,7 +829,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
 	if !s.ready.Load() {
-		s.error(w, http.StatusServiceUnavailable, "recovering")
+		s.error(w, req, http.StatusServiceUnavailable, "recovering")
 		return
 	}
 	s.json(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -676,6 +873,10 @@ func (s *Server) json(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) error(w http.ResponseWriter, code int, msg string) {
-	s.json(w, code, map[string]string{"error": msg})
+func (s *Server) error(w http.ResponseWriter, req *http.Request, code int, msg string) {
+	body := map[string]string{"error": msg}
+	if id := requestID(req); id != "" {
+		body["request_id"] = id
+	}
+	s.json(w, code, body)
 }

@@ -6,6 +6,7 @@ import (
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/obs"
 )
 
 // RecoverInfo describes what recovery found in a data directory.
@@ -100,7 +101,11 @@ func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Opti
 	} else if len(segs) > 0 {
 		nextIdx = segs[len(segs)-1].index + 1
 	}
-	w, err := openWAL(dir, nextIdx, opts.SegmentBytes, opts.FsyncInterval)
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	w, err := openWAL(dir, nextIdx, opts.SegmentBytes, opts.FsyncInterval, newWALMetrics(reg))
 	if err != nil {
 		return nil, nil, info, err
 	}
@@ -115,6 +120,7 @@ func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Opti
 		streamI: snap.streamI,
 		nextSeq: lastSeq + 1,
 	}
+	st.registerMetrics(reg)
 	info.SeedRecords = len(st.seedE.Records) + len(st.seedI.Records)
 	info.StreamedRecords = len(st.streamE) + len(st.streamI)
 

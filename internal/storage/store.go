@@ -3,13 +3,14 @@ package storage
 import (
 	"encoding/binary"
 	"errors"
-	"log"
+	"log/slog"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"slim"
+	"slim/internal/obs"
 )
 
 // DefaultSnapshotEveryRuns is the auto-checkpoint relink cadence.
@@ -36,7 +37,12 @@ type Options struct {
 	SnapshotBytes int64
 	// Logger, when set, receives auto-checkpoint failures (which have no
 	// caller to report to).
-	Logger *log.Logger
+	Logger *slog.Logger
+	// Registry, when set, receives the storage metrics (WAL append/fsync
+	// latency, logged batch/record/byte counters, snapshot duration and
+	// size). A nil Registry wires the metrics to a private, unscraped
+	// registry, so instrumentation is always on.
+	Registry *obs.Registry
 }
 
 func (o Options) snapshotEveryRuns() int {
@@ -84,6 +90,50 @@ type Store struct {
 	snapshots      atomic.Uint64
 	lastSnapSeq    atomic.Uint64
 	lastSnapUnixMs atomic.Int64
+
+	snapshotSeconds *obs.Histogram
+	snapshotBytes   *obs.Gauge
+}
+
+// newWALMetrics registers the WAL latency histograms on reg.
+func newWALMetrics(reg *obs.Registry) walMetrics {
+	return walMetrics{
+		appendSeconds: reg.Histogram("slim_wal_append_seconds",
+			"Latency of one WAL append call (framed write, plus the fsync under the inline policy).", nil),
+		fsyncSeconds: reg.Histogram("slim_wal_fsync_seconds",
+			"Latency of each WAL fsync, whichever policy issued it.", nil),
+	}
+}
+
+// registerMetrics wires the store's counters into reg. The counter and
+// gauge closures read the same atomics /v1/stats reports, so the two
+// surfaces can never disagree.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	reg.CounterFunc("slim_wal_batches_total",
+		"Record batches appended to the WAL since this process opened the directory.",
+		s.batchesLogged.Load)
+	reg.CounterFunc("slim_wal_records_total",
+		"Records appended to the WAL since this process opened the directory.",
+		s.recordsLogged.Load)
+	reg.CounterFunc("slim_wal_appended_bytes_total",
+		"WAL bytes appended since this process opened the directory.",
+		func() uint64 { return uint64(s.walBytes.Load()) })
+	reg.GaugeFunc("slim_wal_next_seq",
+		"Sequence number the next logged batch will carry.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.nextSeq)
+		})
+	reg.CounterFunc("slim_storage_snapshots_total",
+		"Checkpoints completed by this process.", s.snapshots.Load)
+	reg.GaugeFunc("slim_storage_last_snapshot_seq",
+		"Last WAL sequence covered by the newest checkpoint.",
+		func() float64 { return float64(s.lastSnapSeq.Load()) })
+	s.snapshotSeconds = reg.Histogram("slim_storage_snapshot_seconds",
+		"Duration of one checkpoint: state capture, snapshot write, and WAL truncation.", nil)
+	s.snapshotBytes = reg.Gauge("slim_storage_snapshot_bytes",
+		"Size of the newest snapshot file.")
 }
 
 // LogE durably logs a first-dataset batch (engine.Persister).
@@ -202,7 +252,7 @@ func (s *Store) AfterRun(res slim.Result, version uint64) {
 	go func() {
 		defer s.autoCP.Store(false)
 		if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) && s.opts.Logger != nil {
-			s.opts.Logger.Printf("storage: auto checkpoint failed: %v", err)
+			s.opts.Logger.Error("auto checkpoint failed", "component", "storage", "error", err)
 		}
 	}()
 }
@@ -220,6 +270,7 @@ type CheckpointInfo struct {
 func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	start := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
@@ -268,6 +319,12 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	s.snapshots.Add(1)
 	s.lastSnapSeq.Store(d.lastSeq)
 	s.lastSnapUnixMs.Store(time.Now().UnixMilli())
+	if s.snapshotSeconds != nil {
+		s.snapshotSeconds.ObserveSince(start)
+		if fi, err := os.Stat(path); err == nil {
+			s.snapshotBytes.Set(float64(fi.Size()))
+		}
+	}
 	return CheckpointInfo{
 		Path:            path,
 		LastSeq:         d.lastSeq,

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"slim/internal/obs"
 )
 
 // DefaultSegmentBytes is the WAL segment rotation size (16 MiB).
@@ -42,10 +44,25 @@ func segName(index uint64) string {
 // above. A wal never reopens old segments: each process generation
 // starts a fresh segment, so a torn tail from a crash is always at the
 // end of a dead segment.
+// walMetrics are the log's latency histograms (always non-nil; the
+// store wires them to its registry).
+type walMetrics struct {
+	appendSeconds *obs.Histogram // one Append call: framed write (+ inline fsync)
+	fsyncSeconds  *obs.Histogram // every fsync, whichever path issued it
+}
+
+func (m walMetrics) sync(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	m.fsyncSeconds.ObserveSince(start)
+	return err
+}
+
 type wal struct {
 	dir      string
 	segBytes int64
 	interval time.Duration
+	metrics  walMetrics
 
 	mu         sync.Mutex
 	f          *os.File
@@ -62,14 +79,18 @@ type wal struct {
 
 // openWAL starts a fresh segment with the given index and, for group
 // commit, the background syncer.
-func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration) (*wal, error) {
+func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration, metrics walMetrics) (*wal, error) {
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
+	}
+	if metrics.appendSeconds == nil || metrics.fsyncSeconds == nil {
+		metrics = newWALMetrics(obs.NewRegistry())
 	}
 	w := &wal{
 		dir:        dir,
 		segBytes:   segBytes,
 		interval:   interval,
+		metrics:    metrics,
 		segIndex:   segIndex,
 		gen:        make(chan struct{}),
 		wantSync:   make(chan struct{}, 1),
@@ -105,6 +126,8 @@ func (w *wal) openSegment(index uint64) error {
 // until the payload is durable per the fsync policy (a no-op for the
 // inline and never policies) and reports any sticky I/O error.
 func (w *wal) Append(payload []byte) (wait func() error, err error) {
+	start := time.Now()
+	defer w.metrics.appendSeconds.ObserveSince(start)
 	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
 
 	w.mu.Lock()
@@ -131,7 +154,7 @@ func (w *wal) Append(payload []byte) (wait func() error, err error) {
 	w.segWritten += int64(len(frame))
 
 	if w.interval == 0 { // fsync inline
-		if err := w.f.Sync(); err != nil {
+		if err := w.metrics.sync(w.f); err != nil {
 			w.ioErr = err
 			w.mu.Unlock()
 			return nil, err
@@ -192,7 +215,7 @@ func (w *wal) syncNow() {
 		return
 	}
 	if w.ioErr == nil && w.f != nil {
-		if err := w.f.Sync(); err != nil {
+		if err := w.metrics.sync(w.f); err != nil {
 			w.ioErr = err
 		}
 	}
@@ -205,7 +228,7 @@ func (w *wal) syncNow() {
 // rotateLocked seals the active segment (fsync + close, so rotation is
 // always a durability point) and opens the next one. Callers hold mu.
 func (w *wal) rotateLocked() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.metrics.sync(w.f); err != nil {
 		w.ioErr = err
 		return err
 	}
@@ -263,7 +286,7 @@ func (w *wal) Close() error {
 			// Record a failed final fsync in ioErr BEFORE releasing the
 			// waiters below: group-commit callers still blocked in wait()
 			// must see the failure, not a silent success.
-			if err := w.f.Sync(); err != nil {
+			if err := w.metrics.sync(w.f); err != nil {
 				w.ioErr = err
 			}
 		}

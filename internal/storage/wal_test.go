@@ -39,7 +39,7 @@ func appendBatches(t *testing.T, w *wal, batches []Batch) {
 
 func TestWALAppendReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestWALAppendReplay(t *testing.T) {
 
 func TestWALSegmentRotation(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 256, -1) // tiny segments force rotation
+	w, err := openWAL(dir, 1, 256, -1, walMetrics{}) // tiny segments force rotation
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestWALSegmentRotation(t *testing.T) {
 
 func TestWALRotateAndTruncate(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestWALRotateAndTruncate(t *testing.T) {
 // order, sharing far fewer fsyncs than appends.
 func TestWALGroupCommit(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, time.Millisecond)
+	w, err := openWAL(dir, 1, 0, time.Millisecond, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestWALGroupCommit(t *testing.T) {
 
 func TestWALClosedRejectsAppends(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestReplayThroughputFloor(t *testing.T) {
 		t.Skip("throughput measurement; skipped in -short")
 	}
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func benchPayload(seq uint64, n int) []byte {
 // without fsync, 100-record batches.
 func BenchmarkWALAppend(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func BenchmarkWALAppend(b *testing.B) {
 // under group commit from a single writer.
 func BenchmarkWALAppendGroupCommit(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, 100*time.Microsecond)
+	w, err := openWAL(dir, 1, 0, 100*time.Microsecond, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func BenchmarkWALAppendGroupCommit(b *testing.B) {
 // BenchmarkWALReplay measures recovery replay throughput.
 func BenchmarkWALReplay(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, -1)
+	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# check_metrics.sh — e2e smoke of the /metrics plane against a real slimd.
+#
+# Builds slimd, boots it empty on a loopback port, ingests one batch,
+# forces a relink, scrapes GET /metrics, and validates that:
+#   * the exposition parses (every line is a comment or name{labels} value),
+#   * every required metric family is declared with # TYPE,
+#   * the freshness pipeline moved (ingest_to_visible count > 0) and
+#     drained (staleness ~0).
+#
+# Usage: scripts/check_metrics.sh  (from the repo root; CI runs it there)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+slimd_pid=""
+cleanup() {
+  [ -n "$slimd_pid" ] && kill "$slimd_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building slimd"
+go build -o "$workdir/slimd" ./cmd/slimd
+
+echo "== booting slimd"
+"$workdir/slimd" -addr 127.0.0.1:0 -shards 2 -debounce 50ms \
+  >"$workdir/slimd.log" 2>&1 &
+slimd_pid=$!
+
+# The bound address is in the structured "listening" log line (addr=...).
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*msg=listening .*addr=\([^ ]*\).*/\1/p' "$workdir/slimd.log" | head -n1)"
+  [ -n "$addr" ] && break
+  kill -0 "$slimd_pid" 2>/dev/null || { echo "slimd died:"; cat "$workdir/slimd.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "slimd never logged its address"; cat "$workdir/slimd.log"; exit 1; }
+base="http://$addr"
+echo "   serving on $base"
+
+for _ in $(seq 1 100); do
+  curl -fsS "$base/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== ingesting one batch and relinking"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"records":[{"entity":"m1","lat":40.7,"lng":-74.0,"unix":1700000000},{"entity":"m1","lat":40.8,"lng":-74.1,"unix":1700000600}]}' \
+  "$base/v1/datasets/e/records" >/dev/null
+curl -fsS -X POST "$base/v1/link" >/dev/null
+
+echo "== scraping /metrics"
+metrics="$workdir/metrics.txt"
+curl -fsS "$base/metrics" >"$metrics"
+
+echo "== validating exposition format"
+# Every line must be a HELP/TYPE comment or "name[{labels}] value".
+# Label values are quoted strings that may themselves contain '{' or '}'
+# (e.g. route="POST /v1/datasets/{dataset}/records"), so the label
+# matcher must track quotes, not just scan to the first brace.
+lv='(\\.|[^"\\])*'
+label="[a-zA-Z_][a-zA-Z0-9_]*=\"$lv\""
+sample="^[a-zA-Z_:][a-zA-Z0-9_:]*(\{($label(,$label)*)?\})? (NaN|[+-]?Inf|[-+0-9.eE]+)\$"
+bad="$(grep -Ev "^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?\$|$sample|^\$" "$metrics" || true)"
+if [ -n "$bad" ]; then
+  echo "malformed exposition lines:"
+  echo "$bad"
+  exit 1
+fi
+
+echo "== checking required metric families"
+required='
+slim_relink_seconds
+slim_relink_stage_seconds
+slim_relink_runs_total
+slim_ingest_to_visible_seconds
+slim_link_staleness_seconds
+slim_ingest_accepted_records_total
+slim_ingest_shed_requests_total
+slim_http_request_seconds
+slim_http_requests_total
+slim_pending_records
+'
+missing=0
+for name in $required; do
+  if ! grep -q "^# TYPE $name " "$metrics"; then
+    echo "missing family: $name"
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
+echo "== checking the freshness pipeline moved and drained"
+count="$(sed -n 's/^slim_ingest_to_visible_seconds_count \(.*\)$/\1/p' "$metrics")"
+stale="$(sed -n 's/^slim_link_staleness_seconds \(.*\)$/\1/p' "$metrics")"
+awk -v c="$count" 'BEGIN { exit !(c+0 >= 1) }' \
+  || { echo "slim_ingest_to_visible_seconds_count=$count, want >= 1"; exit 1; }
+awk -v s="$stale" 'BEGIN { exit !(s+0 < 1) }' \
+  || { echo "slim_link_staleness_seconds=$stale, want ~0 after quiesce"; exit 1; }
+
+echo "OK: /metrics serves $(grep -c '^# TYPE ' "$metrics") families; ingest_to_visible_count=$count staleness=$stale"
