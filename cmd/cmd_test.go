@@ -307,6 +307,270 @@ func TestCLISlimd(t *testing.T) {
 	}
 }
 
+// TestCLISlimdChaos is the fault-injection e2e through the real binary:
+// boot slimd with a deterministic -fault schedule (a WAL fsync failure
+// and a relink panic), stream batches from the outside, and require the
+// degraded-mode contract — a 503 + Retry-After naming the storage
+// domain, self-healing, a contained panic visible in /metrics and
+// /healthz — then kill -9 and prove the recovered linkage holds exactly
+// the acked batches.
+func TestCLISlimdChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	slimdBin := build(t, dir, "slimd")
+	dataDir := filepath.Join(dir, "data")
+	// Inline fsync so a nacked append never consumes a sequence number;
+	// snapshots off so the WAL alone accounts for every batch. The sync
+	// fault skips the boot checkpoint and lands on an early WAL append;
+	// the relink panic fires on the first forced run (a fresh seedless
+	// boot never runs on its own with a 1h debounce, so that run is ours).
+	baseArgs := []string{"-addr", "127.0.0.1:0", "-shards", "2", "-debounce", "1h",
+		"-threshold", "none", "-data-dir", dataDir, "-fsync-interval", "0",
+		"-snapshot-every", "-1", "-snapshot-bytes", "-1"}
+	chaosArgs := append(append([]string{}, baseArgs...),
+		"-fault", "fs.sync:error:after=3:count=1,engine.relink:panic=chaos:count=1")
+
+	cmd1, base1 := startSlimd(t, slimdBin, chaosArgs...)
+
+	getJSON := func(base, path string, v any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	type healthz struct {
+		Status  string `json:"status"`
+		Domains []struct {
+			Domain string `json:"domain"`
+			Status string `json:"status"`
+		} `json:"domains"`
+	}
+	domainStatus := func(base, domain string) (overall, status string) {
+		t.Helper()
+		var hz healthz
+		if code := getJSON(base, "/healthz", &hz); code != 200 {
+			t.Fatalf("healthz = %d, want 200 even mid-fault", code)
+		}
+		for _, d := range hz.Domains {
+			if d.Domain == domain {
+				return hz.Status, d.Status
+			}
+		}
+		return hz.Status, ""
+	}
+
+	mkBody := func(e string, off float64, startUnix int64) string {
+		var sb strings.Builder
+		sb.WriteString(`{"records":[`)
+		for k := 0; k < 20; k++ {
+			if k > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, `{"entity":%q,"lat":%g,"lng":-122.3,"unix":%d}`,
+				e, 37.5+off+float64(k%4)*0.06, startUnix+int64(k)*900)
+		}
+		sb.WriteString("]}")
+		return sb.String()
+	}
+
+	// Stream three entity pairs; the armed fsync fault rejects one batch
+	// with the degraded contract, after which the node must heal and the
+	// retry must land. Every acked append consumes exactly one sequence
+	// number, so the final next_seq pins "rejected batches left no trace".
+	rejections, ackedAppends := 0, 0
+	for i, e := range []string{"a", "b", "c"} {
+		off := float64(i) * 0.8
+		for _, ds := range []struct{ path, entity string }{
+			{"/v1/datasets/e/records", "e-" + e},
+			{"/v1/datasets/i/records", "i-" + e},
+		} {
+			body := mkBody(ds.entity, off, 1_000_000)
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				resp, err := http.Post(base1+ds.path, "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				status := resp.StatusCode
+				retryAfter := resp.Header.Get("Retry-After")
+				var errBody struct {
+					Domain string `json:"domain"`
+				}
+				if status != 202 {
+					json.NewDecoder(resp.Body).Decode(&errBody)
+				}
+				resp.Body.Close()
+				if status == 202 {
+					ackedAppends++
+					break
+				}
+				if status != 503 {
+					t.Fatalf("ingest %s: status %d, want 202 or degraded 503", ds.entity, status)
+				}
+				if retryAfter == "" || errBody.Domain != "storage" {
+					t.Fatalf("degraded 503 contract violated: Retry-After=%q domain=%q",
+						retryAfter, errBody.Domain)
+				}
+				rejections++
+				// Liveness holds while degraded; then wait out the reopen.
+				if overall, storageDom := domainStatus(base1, "storage"); overall == "degraded" && storageDom != "degraded" {
+					t.Fatalf("healthz overall=%s but storage domain=%q", overall, storageDom)
+				}
+				for {
+					if _, storageDom := domainStatus(base1, "storage"); storageDom == "healthy" {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatal("storage domain never healed after fault exhausted")
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("ingest %s never acked", ds.entity)
+			}
+		}
+	}
+	if rejections == 0 {
+		t.Fatal("armed fsync fault never landed — no batch was rejected")
+	}
+	if ackedAppends != 6 {
+		t.Fatalf("acked appends = %d, want 6", ackedAppends)
+	}
+
+	post := func(base, path string) int {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// The first forced run hits the armed relink panic. Containment means
+	// it still answers 200 (republishing the previous — here empty —
+	// result) and the process survives.
+	if code := post(base1, "/v1/link"); code != 200 {
+		t.Fatalf("panicked /v1/link = %d, want 200 (contained, previous result republished)", code)
+	}
+	if overall, relinkDom := domainStatus(base1, "relink"); overall != "degraded" || relinkDom != "degraded" {
+		t.Fatalf("healthz after contained panic: overall=%s relink=%s, want degraded", overall, relinkDom)
+	}
+	metrics := func(base string) string {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := metrics(base1); !strings.Contains(body, "slim_relink_panics_total 1") {
+		t.Error("slim_relink_panics_total != 1 after contained panic")
+	}
+	// The next run recovers the relink domain and republishes fresh links.
+	if code := post(base1, "/v1/link"); code != 200 {
+		t.Fatalf("recovery /v1/link = %d", code)
+	}
+	if overall, relinkDom := domainStatus(base1, "relink"); overall != "ok" || relinkDom != "healthy" {
+		t.Fatalf("healthz after recovery run: overall=%s relink=%s, want healthy", overall, relinkDom)
+	}
+
+	type linkJSON struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	getLinks := func(base string) (links []linkJSON) {
+		t.Helper()
+		var out struct {
+			Links []linkJSON `json:"links"`
+		}
+		if code := getJSON(base, "/v1/links", &out); code != 200 {
+			t.Fatalf("GET /v1/links = %d", code)
+		}
+		return out.Links
+	}
+	before := getLinks(base1)
+	if len(before) != 3 {
+		t.Fatalf("post-chaos links = %+v, want 3 pairs", before)
+	}
+
+	// kill -9 mid-flight, then recover on the same directory with no
+	// faults armed: the linkage must rebuild from exactly the acked WAL.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+	cmd2, base2 := startSlimd(t, slimdBin, baseArgs...)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered slimd never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	after := getLinks(base2)
+	if len(after) != len(before) {
+		t.Fatalf("recovered links = %+v, want %+v", after, before)
+	}
+	sort.Slice(before, func(i, j int) bool { return before[i].U < before[j].U })
+	sort.Slice(after, func(i, j int) bool { return after[i].U < after[j].U })
+	for i := range before {
+		if before[i].U != after[i].U || before[i].V != after[i].V ||
+			math.Abs(before[i].Score-after[i].Score) > 1e-9 {
+			t.Fatalf("link %d drifted across chaos crash: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	var stats struct {
+		Storage *struct {
+			NextSeq uint64 `json:"next_seq"`
+		} `json:"storage"`
+	}
+	if code := getJSON(base2, "/v1/stats", &stats); code != 200 {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	if stats.Storage == nil || stats.Storage.NextSeq != 7 {
+		t.Fatalf("recovered storage stats = %+v, want next_seq 7 (rejected appends consume no seq)",
+			stats.Storage)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd2.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("recovered slimd exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("recovered slimd did not shut down on SIGTERM")
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries; skipped in -short")

@@ -8,7 +8,8 @@
 //	slimd [-addr :8080] [-shards 4] [-debounce 2s] [-e seed.csv -i seed.csv]
 //	      [-data-dir ./data] [-fsync-interval 2ms] [-snapshot-every 8]
 //	      [-ingest-queue-depth 262144] [-ingest-shed-after 10s]
-//	      [-max-ingest-body 16777216] [-debug-addr localhost:6060] [flags]
+//	      [-max-ingest-body 16777216] [-debug-addr localhost:6060]
+//	      [-fault site:action[:trigger],...] [flags]
 //
 // The service may start empty (stream everything over the API) or seeded
 // with two CSV datasets (entity,lat,lng,unix), which are linked once at
@@ -33,11 +34,14 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the debug mux
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"slim"
 	"slim/internal/engine"
+	"slim/internal/fault"
 	"slim/internal/ingest"
 	"slim/internal/obs"
 	"slim/internal/server"
@@ -64,6 +68,8 @@ func main() {
 		queueDepth = flag.Int("ingest-queue-depth", ingest.DefaultQueueDepth, "shed ingest once this many records are queued (inflight + pending relink)")
 		shedAfter  = flag.Duration("ingest-shed-after", ingest.DefaultShedAfter, "shed ingest once the oldest queued record has waited this long (<0 = never)")
 		maxBody    = flag.Int64("max-ingest-body", server.MaxIngestBody, "maximum ingest request body in bytes (JSON and binary); larger bodies get 413")
+
+		faultSpecs = flag.String("fault", "", "comma-separated fault-injection specs, site:action[:trigger]... (e.g. fs.sync:error:after=20, engine.rescore:panic:count=1) — chaos testing only; the process must survive every armed fault")
 
 		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
 		fsyncInterval = flag.Duration("fsync-interval", storage.DefaultFsyncInterval, "WAL group-commit window (0 = fsync every append, <0 = never fsync)")
@@ -130,15 +136,45 @@ func main() {
 		fatal(logger, "loading seed", "error", err)
 	}
 
+	// Fault injection (-fault) arms the chaos sites across the storage
+	// and relink layers. A nil injector is a never-firing no-op, so the
+	// production path carries no flag checks past this point.
+	var inj *fault.Injector
+	if *faultSpecs != "" {
+		inj = fault.New()
+		for _, spec := range strings.Split(*faultSpecs, ",") {
+			if spec = strings.TrimSpace(spec); spec == "" {
+				continue
+			}
+			if err := inj.ArmSpec(spec); err != nil {
+				fatal(logger, "bad -fault spec", "spec", spec, "error", err)
+			}
+			logger.Warn("fault armed", "spec", spec)
+		}
+	}
+
 	engCfg := engine.Config{
 		Shards:   *shards,
 		Link:     cfg,
 		Debounce: *debounce,
 		Registry: registry,
+		Fault:    inj,
+		Logger:   logger,
 	}
 	var eng *engine.Engine
 	var store *storage.Store
 	if *dataDir != "" {
+		// OnRelog re-buffers batches the degraded-mode quarantine re-logged
+		// into the fresh segment: they are durable again (a recovery would
+		// replay them), so the live engine must hold them too. The engine
+		// does not exist yet at Options time, so the hook goes through an
+		// atomic set after Recover returns; a degraded reopen cannot
+		// complete before the store has even finished opening.
+		var engRef atomic.Pointer[engine.Engine]
+		fs := storage.OSFS
+		if inj != nil {
+			fs = storage.NewFaultFS(storage.OSFS, inj)
+		}
 		var info storage.RecoverInfo
 		eng, store, info, err = storage.Recover(*dataDir, dsE, dsI, engCfg, storage.Options{
 			FsyncInterval:     *fsyncInterval,
@@ -146,7 +182,22 @@ func main() {
 			SnapshotBytes:     *snapshotBytes,
 			Logger:            logger,
 			Registry:          registry,
+			FS:                fs,
+			OnRelog: func(tag byte, recs []slim.Record) {
+				e := engRef.Load()
+				if e == nil {
+					return
+				}
+				if tag == storage.TagE {
+					e.BufferE(recs...)
+				} else {
+					e.BufferI(recs...)
+				}
+			},
 		})
+		if eng != nil {
+			engRef.Store(eng)
+		}
 		if err != nil {
 			fatal(logger, "recovering data directory", "dir", *dataDir, "error", err)
 		}
@@ -171,10 +222,21 @@ func main() {
 		}
 	}
 	eng.Start()
-	// One deferred shutdown so the order is explicit: the engine first
-	// (waits out any in-flight relink), then the store, whose final
-	// checkpoint captures the last published result.
+	plane := ingest.NewPlane(eng, ingest.Config{
+		QueueDepth: *queueDepth,
+		ShedAfter:  *shedAfter,
+		Registry:   registry,
+	})
+	// One deferred shutdown so the order is explicit: drain the ingest
+	// plane first (no acknowledgement may still be racing the close),
+	// then the engine (waits out any in-flight relink), then the store,
+	// whose final checkpoint captures the last published result.
 	defer func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := plane.Drain(drainCtx); err != nil {
+			logger.Warn("ingest plane drain timed out; closing anyway", "error", err)
+		}
+		cancel()
 		eng.Close()
 		if store != nil {
 			if err := store.Close(); err != nil {
@@ -199,11 +261,6 @@ func main() {
 			"elapsed", res.Elapsed)
 	}
 
-	plane := ingest.NewPlane(eng, ingest.Config{
-		QueueDepth: *queueDepth,
-		ShedAfter:  *shedAfter,
-		Registry:   registry,
-	})
 	srv := server.New(eng, logger,
 		server.WithIngestPlane(plane),
 		server.WithMaxIngestBody(*maxBody),
@@ -267,7 +324,15 @@ func main() {
 		logger.Info("debug server listening", "addr", dln.Addr().String(),
 			"endpoints", "/debug/pprof/ /debug/vars /metrics")
 		go func() {
-			dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			dbg := &http.Server{
+				Handler:           http.DefaultServeMux,
+				ReadHeaderTimeout: 10 * time.Second,
+				// Slow-client bounds: pprof profile captures stream for up
+				// to their ?seconds=, so the write timeout stays generous.
+				ReadTimeout:  30 * time.Second,
+				WriteTimeout: 2 * time.Minute,
+				IdleTimeout:  2 * time.Minute,
+			}
 			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug server", "error", err)
 			}
@@ -281,6 +346,13 @@ func main() {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// Bound slow or stalled clients so a handful of dead connections
+		// cannot pin goroutines and buffers forever. The write timeout
+		// must cover a synchronous POST /v1/link on a large corpus, so it
+		// is generous rather than tight.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -27,11 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"slim"
+	"slim/internal/fault"
 	"slim/internal/obs"
 )
 
@@ -41,6 +44,26 @@ const DefaultShards = 4
 // DefaultDebounce is the background relink debounce used when
 // Config.Debounce is zero.
 const DefaultDebounce = 250 * time.Millisecond
+
+// DefaultRunDeadline is the relink watchdog deadline used when
+// Config.RunDeadline is zero: a run exceeding it shows up on the
+// slim_relink_stuck_seconds gauge and flips /healthz's relink domain.
+const DefaultRunDeadline = 2 * time.Minute
+
+// Fault-injection site names of the relink path (Config.Fault). Any
+// injected signal at these sites panics the goroutine that hit it —
+// they exist to prove the containment below, not to model I/O errors.
+const (
+	// FaultApply fires in each shard's pending-drain goroutine.
+	FaultApply = "engine.apply"
+	// FaultRescore fires in each dirty shard's rescore goroutine.
+	FaultRescore = "engine.rescore"
+	// FaultRelink fires once per run on the merge/match path.
+	FaultRelink = "engine.relink"
+	// FaultLoop fires in the background scheduler itself, outside Run's
+	// containment — the handle for exercising the supervisor restart.
+	FaultLoop = "engine.loop"
+)
 
 // Config parameterizes the engine.
 type Config struct {
@@ -59,6 +82,23 @@ type Config struct {
 	// same atomics Stats reports. A nil Registry wires the metrics to a
 	// private, unscraped registry, so instrumentation is always on.
 	Registry *obs.Registry
+	// RunDeadline is the relink watchdog deadline: a run exceeding it is
+	// reported by the slim_relink_stuck_seconds gauge (0 =
+	// DefaultRunDeadline, <0 = watchdog disabled).
+	RunDeadline time.Duration
+	// Fault, when set, arms the engine's panic-injection sites (Fault*
+	// constants) — the chaos tests' handle into the relink path.
+	Fault *fault.Injector
+	// Logger, when set, receives recovered relink panics and supervisor
+	// restarts (failures with no caller to report to).
+	Logger *slog.Logger
+}
+
+func (c Config) runDeadline() time.Duration {
+	if c.RunDeadline == 0 {
+		return DefaultRunDeadline
+	}
+	return c.RunDeadline
 }
 
 // shard owns one Linker over a hash partition of the E entities plus a
@@ -86,6 +126,11 @@ type shard struct {
 	ran  atomic.Bool
 	entE atomic.Int64
 	entI atomic.Int64
+	// forceDirty marks the shard for an unconditional rescore on the
+	// next run — set when a relink panicked, because the panicked run's
+	// cached edges (or partially applied state) can no longer be
+	// trusted as clean.
+	forceDirty atomic.Bool
 	// idx mirrors the shard's incremental LSH candidate-index snapshot
 	// (nil when LSH is disabled), refreshed after every rescore so Stats
 	// can aggregate it without taking runMu.
@@ -128,7 +173,7 @@ func (sh *shard) applyPending() (dirty bool) {
 	sh.lk.AddE(pe...)
 	sh.lk.AddI(pi...)
 	sh.syncCounts()
-	return !sh.ran.Load() || len(pe) > 0 || len(pi) > 0
+	return sh.forceDirty.Swap(false) || !sh.ran.Load() || len(pe) > 0 || len(pi) > 0
 }
 
 // syncCounts refreshes the atomic entity-count mirrors. Callers must hold
@@ -203,6 +248,17 @@ type Engine struct {
 	edgeRetained  atomic.Uint64
 	edgeDropped   atomic.Uint64
 
+	// Supervision state: relinkPanics counts recovered panics anywhere
+	// in the relink path; loopRestarts counts supervisor restarts of the
+	// background scheduler; runStartNano is the wall-clock start of the
+	// run in flight (0 when idle), the watchdog's input; health is the
+	// relink failure domain (degraded after a panicked run, healthy
+	// again after the next successful publish).
+	relinkPanics atomic.Uint64
+	loopRestarts atomic.Uint64
+	runStartNano atomic.Int64
+	health       *obs.Health
+
 	metrics *engMetrics
 
 	kick   chan struct{}
@@ -264,6 +320,12 @@ func newEngMetrics(reg *obs.Registry, e *Engine) *engMetrics {
 		func() float64 { return float64(m.fresh.VisibleSeq()) })
 	reg.CounterFunc("slim_relink_runs_total",
 		"Completed relink runs (including short-circuited ones).", e.runs.Load)
+	reg.CounterFunc("slim_relink_panics_total",
+		"Panics recovered in the relink path (failed runs and supervisor restarts).",
+		e.relinkPanics.Load)
+	reg.GaugeFunc("slim_relink_stuck_seconds",
+		"How far the relink in flight is past its watchdog deadline (0 when idle or on time).",
+		e.StuckSeconds)
 	reg.CounterFunc("slim_relink_short_circuits_total",
 		"Fully-clean relink runs that republished the cached result.", e.shortCircuits.Load)
 	reg.CounterFunc("slim_relink_pairs_rescored_total",
@@ -420,6 +482,7 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 		reg = obs.NewRegistry()
 	}
 	e.metrics = newEngMetrics(reg, e)
+	e.health = obs.NewHealth(reg, "relink")
 	return e, nil
 }
 
@@ -552,9 +615,121 @@ func (e *Engine) OldestPending() (oldest time.Time, ok bool) {
 // reuse their cached edges), and publishes the merged, globally matched
 // and thresholded result. Runs are serialized; ingest and queries proceed
 // concurrently.
+//
+// A panic anywhere in the run — a shard goroutine or the merge/match
+// path — is contained: the run is marked failed, the previous published
+// result is returned unchanged (version not bumped, persister not
+// notified, freshness watermark not advanced), every shard is marked
+// for an unconditional rescore, slim_relink_panics_total increments,
+// and the relink health domain degrades until the next successful run.
 func (e *Engine) Run() slim.Result {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
+	// Arm the watchdog: slim_relink_stuck_seconds reads this while the
+	// run is in flight.
+	e.runStartNano.Store(time.Now().UnixNano())
+	defer e.runStartNano.Store(0)
+
+	res, err := e.runContained()
+	if err == nil {
+		e.health.Recover()
+		return res
+	}
+	e.relinkPanics.Add(1)
+	e.health.Degrade(err.Error())
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Error("relink run panicked; previous result republished",
+			"component", "engine", "error", err)
+	}
+	// The failed run's shard state can no longer be trusted as clean:
+	// force a full rescore next run (pending buffers are intact for
+	// shards that never got to drain).
+	for _, sh := range e.shards {
+		sh.forceDirty.Store(true)
+	}
+	e.mu.Lock()
+	cur := e.cur
+	e.mu.Unlock()
+	if cur != nil {
+		return *cur
+	}
+	return slim.Result{SpatialLevel: e.level}
+}
+
+// StuckSeconds reports how far the relink in flight is past the
+// watchdog deadline — the slim_relink_stuck_seconds gauge. It is 0 when
+// the engine is idle, the run is still within its deadline, or the
+// watchdog is disabled (RunDeadline < 0).
+func (e *Engine) StuckSeconds() float64 {
+	startNano := e.runStartNano.Load()
+	if startNano == 0 {
+		return 0
+	}
+	dl := e.cfg.runDeadline()
+	if dl < 0 {
+		return 0
+	}
+	over := time.Since(time.Unix(0, startNano)) - dl
+	if over <= 0 {
+		return 0
+	}
+	return over.Seconds()
+}
+
+// Health returns the relink failure domain: degraded (with the
+// recovered panic as the cause) after a failed run, healthy again after
+// the next successful publish.
+func (e *Engine) Health() (obs.HealthState, string, time.Time) {
+	return e.health.State()
+}
+
+// hitFault consults the injected fault site; any injected signal is a
+// panic here (the engine sites exist to exercise panic containment).
+func (e *Engine) hitFault(site string) {
+	if err := e.cfg.Fault.Hit(site); err != nil {
+		panic(err)
+	}
+}
+
+// guarded runs fn, converting a panic into an error carried back to the
+// spawning goroutine (a panic that stayed in a shard goroutine would
+// kill the process — recover only works on the panicking goroutine's
+// own stack).
+func guarded(what string, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v\n%s", what, r, debug.Stack())
+		}
+	}()
+	fn()
+	return nil
+}
+
+// shardUnlocker releases the shards' runMu exactly once, whether the
+// run completes, short-circuits, or panics.
+type shardUnlocker struct {
+	shards   []*shard
+	released bool
+}
+
+func (u *shardUnlocker) release() {
+	if u.released {
+		return
+	}
+	u.released = true
+	for _, sh := range u.shards {
+		sh.runMu.Unlock()
+	}
+}
+
+// runContained is the relink body; a panic on any participating
+// goroutine surfaces as err (never as a crash).
+func (e *Engine) runContained() (res slim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("relink: panic: %v\n%s", r, debug.Stack())
+		}
+	}()
 	start := time.Now()
 
 	// Phase 1: apply pending ingest on every shard in parallel, so the
@@ -562,20 +737,31 @@ func (e *Engine) Run() slim.Result {
 	for _, sh := range e.shards {
 		sh.runMu.Lock()
 	}
+	locks := &shardUnlocker{shards: e.shards}
+	defer locks.release()
 	// The freshness mark is taken before the drain below, so every batch
 	// acknowledged at or below it is already sitting in the shard queues
 	// and will be link-visible once this run publishes.
 	mark := e.metrics.fresh.Mark()
 	dirty := make([]bool, len(e.shards))
+	panics := make([]error, len(e.shards))
 	var wg sync.WaitGroup
 	for s, sh := range e.shards {
 		wg.Add(1)
 		go func(s int, sh *shard) {
 			defer wg.Done()
-			dirty[s] = sh.applyPending()
+			panics[s] = guarded("apply shard", func() {
+				e.hitFault(FaultApply)
+				dirty[s] = sh.applyPending()
+			})
 		}(s, sh)
 	}
 	wg.Wait()
+	for _, perr := range panics {
+		if perr != nil {
+			return slim.Result{}, perr
+		}
+	}
 	e.metrics.stageApply.ObserveSince(start)
 
 	// Fully-clean short-circuit: when no shard has work and a result is
@@ -597,9 +783,7 @@ func (e *Engine) Run() slim.Result {
 			// normal path) so /v1/stats does not echo an older relink's
 			// work next to runs_short_circuited.
 			e.zeroWorkMirrors(nil)
-			for _, sh := range e.shards {
-				sh.runMu.Unlock()
-			}
+			locks.release()
 			e.lastDirtyShards.Store(0)
 			e.runs.Add(1)
 			e.shortCircuits.Add(1)
@@ -612,7 +796,7 @@ func (e *Engine) Run() slim.Result {
 			now := time.Now()
 			e.metrics.fresh.Visible(mark, now)
 			e.metrics.relinkSeconds.Observe(now.Sub(start).Seconds())
-			return *cur
+			return *cur, nil
 		}
 	}
 
@@ -632,12 +816,20 @@ func (e *Engine) Run() slim.Result {
 		}
 		nDirty++
 		wg.Add(1)
-		go func(sh *shard) {
+		go func(s int, sh *shard) {
 			defer wg.Done()
-			sh.rescore(totalE)
-		}(sh)
+			panics[s] = guarded("rescore shard", func() {
+				e.hitFault(FaultRescore)
+				sh.rescore(totalE)
+			})
+		}(s, sh)
 	}
 	wg.Wait()
+	for _, perr := range panics {
+		if perr != nil {
+			return slim.Result{}, perr
+		}
+	}
 	e.metrics.stageRescore.ObserveSince(rescoreStart)
 	// The incremental candidate-index update runs inside rescore; its cost
 	// is reported separately as the sum of the dirty shards' index update
@@ -716,18 +908,17 @@ func (e *Engine) Run() slim.Result {
 			}
 		}
 	}
-	for _, sh := range e.shards {
-		sh.runMu.Unlock()
-	}
+	locks.release()
 	e.metrics.stageMerge.ObserveSince(mergeStart)
 
+	e.hitFault(FaultRelink)
 	matchStart := time.Now()
 	matched := slim.MatchLinks(e.cfg.Link.Matcher, all)
 	e.metrics.stageMatch.ObserveSince(matchStart)
 	thrStart := time.Now()
 	thr := slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
 	e.metrics.stageThreshold.ObserveSince(thrStart)
-	res := slim.Result{
+	res = slim.Result{
 		Links:           slim.FilterLinks(matched, thr.Threshold),
 		Matched:         matched,
 		Threshold:       thr.Threshold,
@@ -756,7 +947,7 @@ func (e *Engine) Run() slim.Result {
 	if p := e.persister(); p != nil {
 		p.AfterRun(res, version)
 	}
-	return res
+	return res, nil
 }
 
 // RestoreResult installs a previously published result, e.g. one loaded
@@ -846,6 +1037,12 @@ type Stats struct {
 	EdgeRetainedTotal  uint64
 	EdgeDroppedTotal   uint64
 	RunsShortCircuited uint64
+	// RelinkPanics counts panics recovered anywhere in the relink path
+	// (each one is a failed run that republished the previous result);
+	// LoopRestarts counts supervisor restarts of the background
+	// scheduler after it panicked.
+	RelinkPanics uint64
+	LoopRestarts uint64
 	// Runs and Version count completed relinks and published results.
 	Runs    uint64
 	Version uint64
@@ -877,6 +1074,8 @@ func (e *Engine) Stats() Stats {
 		IngestedE:          e.ingestedE.Load(),
 		IngestedI:          e.ingestedI.Load(),
 		Runs:               e.runs.Load(),
+		RelinkPanics:       e.relinkPanics.Load(),
+		LoopRestarts:       e.loopRestarts.Load(),
 		DirtyShardsLastRun: int(e.lastDirtyShards.Load()),
 		EdgeRescoredTotal:  e.edgeRescored.Load(),
 		EdgeRetainedTotal:  e.edgeRetained.Load(),
@@ -1013,12 +1212,43 @@ func (e *Engine) Start() {
 		return
 	}
 	e.started = true
-	go e.loop()
+	go e.supervise()
+}
+
+// supervise runs the debounced scheduler under a restart supervisor: a
+// panic escaping the loop (Run itself contains relink panics, so this
+// is the last line of defense for the scheduling machinery) is
+// recovered, counted, and the loop is restarted after a capped
+// exponential backoff — a crash in background scheduling must never
+// take down ingest and query serving with it.
+func (e *Engine) supervise() {
+	defer close(e.done)
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		err := guarded("relink scheduler", e.loop)
+		if err == nil {
+			return // clean stop via Close
+		}
+		e.relinkPanics.Add(1)
+		e.loopRestarts.Add(1)
+		if e.cfg.Logger != nil {
+			e.cfg.Logger.Error("relink scheduler panicked; restarting",
+				"component", "engine", "backoff", backoff, "error", err)
+		}
+		select {
+		case <-e.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 // loop is the debounced background relink scheduler.
 func (e *Engine) loop() {
-	defer close(e.done)
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
@@ -1042,6 +1272,7 @@ func (e *Engine) loop() {
 					break debounce
 				}
 			}
+			e.hitFault(FaultLoop)
 			e.Run()
 		}
 	}

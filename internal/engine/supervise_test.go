@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"slim"
+	"slim/internal/fault"
+	"slim/internal/obs"
+)
+
+// faultedEngine builds a small seeded engine with an armed-able injector.
+func faultedEngine(t *testing.T) (*Engine, *fault.Injector) {
+	t.Helper()
+	w := standardWorkload(12)
+	inj := fault.New()
+	eng, err := New(w.E, w.I, Config{
+		Shards:   4,
+		Link:     slim.Defaults(),
+		Debounce: 5 * time.Millisecond,
+		Fault:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, inj
+}
+
+// extraRecs returns a few fresh records for one new E entity so a run has
+// pending work.
+func extraRecs(n int, seed int64) []slim.Record {
+	recs := make([]slim.Record, n)
+	for i := range recs {
+		recs[i] = slim.NewRecord("sup-extra", 40.0+float64(i)*0.001, -74.0, seed+int64(i*600))
+	}
+	return recs
+}
+
+// TestEngineRunPanicContained injects a panic into each relink phase in
+// turn and verifies the failure is contained: Run returns the previous
+// published result unchanged, the version is not bumped, the panic is
+// counted, the relink health domain degrades, and the next (fault-free)
+// run fully recovers — rescoring every shard and publishing fresh links.
+func TestEngineRunPanicContained(t *testing.T) {
+	for _, site := range []string{FaultApply, FaultRescore, FaultRelink} {
+		t.Run(site, func(t *testing.T) {
+			eng, inj := faultedEngine(t)
+			base := eng.Run()
+			_, v1, _ := eng.Result()
+			if len(base.Links) == 0 {
+				t.Fatal("baseline run produced no links")
+			}
+
+			if err := eng.AddE(extraRecs(6, 1)...); err != nil {
+				t.Fatal(err)
+			}
+			inj.Arm(site, fault.Rule{Panic: "injected " + site, Count: 1})
+			got := eng.Run()
+
+			if _, v2, _ := eng.Result(); v2 != v1 {
+				t.Fatalf("failed run bumped version: %d -> %d", v1, v2)
+			}
+			if len(got.Links) != len(base.Links) {
+				t.Fatalf("failed run did not republish previous result: %d links vs %d",
+					len(got.Links), len(base.Links))
+			}
+			st := eng.Stats()
+			if st.RelinkPanics != 1 {
+				t.Fatalf("RelinkPanics = %d, want 1", st.RelinkPanics)
+			}
+			if state, cause, _ := eng.Health(); state != obs.Degraded || !strings.Contains(cause, site) {
+				t.Fatalf("health after panic = %v (%q), want degraded naming %s", state, cause, site)
+			}
+
+			// Fault exhausted (Count:1): the next run must succeed, rescore
+			// every shard (forceDirty), and publish the pending records.
+			res := eng.Run()
+			if _, v3, _ := eng.Result(); v3 != v1+1 {
+				t.Fatalf("recovery run version = %d, want %d", v3, v1+1)
+			}
+			if got := eng.Stats().DirtyShardsLastRun; got != eng.NumShards() {
+				t.Fatalf("recovery run rescored %d shards, want all %d (forceDirty)",
+					got, eng.NumShards())
+			}
+			if state, _, _ := eng.Health(); state != obs.Healthy {
+				t.Fatalf("health after recovery = %v, want healthy", state)
+			}
+			_ = res
+			if st := eng.Stats(); st.PendingRecords != 0 {
+				t.Fatalf("records still pending after recovery run: %d", st.PendingRecords)
+			}
+		})
+	}
+}
+
+// TestEngineFailedRunSkipsPersister verifies a panicked run never reaches
+// the persister: no AfterRun, so no checkpoint can capture poisoned state.
+func TestEngineFailedRunSkipsPersister(t *testing.T) {
+	eng, inj := faultedEngine(t)
+	p := &recordingPersister{}
+	eng.SetPersister(p)
+	afterRuns := func() int {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.runs
+	}
+
+	eng.Run()
+	after1 := afterRuns()
+
+	if err := eng.AddE(extraRecs(4, 500)...); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FaultRelink, fault.Rule{Panic: "boom", Count: 1})
+	eng.Run()
+	if got := afterRuns(); got != after1 {
+		t.Fatalf("failed run called AfterRun (%d -> %d)", after1, got)
+	}
+	eng.Run()
+	if got := afterRuns(); got != after1+1 {
+		t.Fatalf("recovery run AfterRun count = %d, want %d", got, after1+1)
+	}
+}
+
+// TestEngineSupervisorRestartsLoop panics the background scheduler itself
+// (outside Run's containment) and verifies the supervisor recovers it:
+// the loop restarts, the restart is counted, and a later ingest still
+// triggers a debounced relink.
+func TestEngineSupervisorRestartsLoop(t *testing.T) {
+	eng, inj := faultedEngine(t)
+	eng.Start()
+	defer eng.Close()
+
+	inj.Arm(FaultLoop, fault.Rule{Panic: "scheduler down", Count: 1})
+	if err := eng.AddE(extraRecs(3, 900)...); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().LoopRestarts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never restarted the scheduler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The restarted loop must still serve: new ingest leads to a publish.
+	if err := eng.AddE(extraRecs(3, 1800)...); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if st := eng.Stats(); st.PendingRecords == 0 && st.Runs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted scheduler never ran a relink")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := eng.Stats()
+	if st.LoopRestarts != 1 {
+		t.Fatalf("LoopRestarts = %d, want 1", st.LoopRestarts)
+	}
+	if st.RelinkPanics == 0 {
+		t.Fatal("scheduler panic not counted in RelinkPanics")
+	}
+}
+
+// TestEngineStuckSeconds pins the watchdog math: 0 when idle, 0 while a
+// run is within its deadline, the overage once past it, and 0 when the
+// watchdog is disabled.
+func TestEngineStuckSeconds(t *testing.T) {
+	eng, _ := faultedEngine(t)
+	if got := eng.StuckSeconds(); got != 0 {
+		t.Fatalf("idle StuckSeconds = %v, want 0", got)
+	}
+
+	eng.cfg.RunDeadline = 100 * time.Millisecond
+	eng.runStartNano.Store(time.Now().Add(-time.Second).UnixNano())
+	if got := eng.StuckSeconds(); got < 0.5 || got > 5 {
+		t.Fatalf("stuck StuckSeconds = %v, want ~0.9", got)
+	}
+	eng.runStartNano.Store(time.Now().UnixNano())
+	if got := eng.StuckSeconds(); got != 0 {
+		t.Fatalf("on-time StuckSeconds = %v, want 0", got)
+	}
+	eng.cfg.RunDeadline = -1
+	eng.runStartNano.Store(time.Now().Add(-time.Hour).UnixNano())
+	if got := eng.StuckSeconds(); got != 0 {
+		t.Fatalf("disabled-watchdog StuckSeconds = %v, want 0", got)
+	}
+	eng.runStartNano.Store(0)
+}

@@ -30,6 +30,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -348,6 +349,28 @@ func (p *Plane) Submit(batches []storage.WireBatch) (applied int, err error) {
 		p.acceptedRecords.Add(uint64(len(b.Recs)))
 	}
 	return applied, err
+}
+
+// Drain blocks until every admitted request has been released — its
+// records durable and buffered, or rejected — so a shutting-down
+// process can close the engine and take its final checkpoint knowing no
+// acknowledgement is still racing the close. It returns ctx's error if
+// the context expires first (the shutdown proceeds anyway; the WAL
+// still holds whatever was logged).
+func (p *Plane) Drain(ctx context.Context) error {
+	for {
+		p.mu.Lock()
+		n := p.inflight
+		p.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // NoteAccepted counts records the JSON plane accepted, so the plane's

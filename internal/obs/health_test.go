@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHealthStateMachine(t *testing.T) {
+	h := NewHealth(nil, "storage")
+	if st, _, _ := h.State(); st != Healthy {
+		t.Fatalf("new tracker state = %v, want healthy", st)
+	}
+	if !h.Degrade("fsync failed") {
+		t.Fatal("first Degrade should start an episode")
+	}
+	st, cause, since := h.State()
+	if st != Degraded || cause != "fsync failed" || since.IsZero() {
+		t.Fatalf("degraded state = %v %q %v", st, cause, since)
+	}
+	if h.Degrade("later cause") {
+		t.Fatal("second Degrade should be a no-op")
+	}
+	if _, cause, _ := h.State(); cause != "fsync failed" {
+		t.Fatalf("cause overwritten mid-episode: %q", cause)
+	}
+	if !h.Recover() {
+		t.Fatal("Recover should end the episode")
+	}
+	if h.Recover() {
+		t.Fatal("second Recover should be a no-op")
+	}
+	if st, cause, since := h.State(); st != Healthy || cause != "" || !since.IsZero() {
+		t.Fatalf("post-recover state = %v %q %v", st, cause, since)
+	}
+}
+
+func TestHealthStateString(t *testing.T) {
+	if Healthy.String() != "healthy" || Degraded.String() != "degraded" {
+		t.Fatalf("state names: %q %q", Healthy.String(), Degraded.String())
+	}
+}
+
+func TestHealthGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg, "storage")
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+	if body := scrape(); !strings.Contains(body, `slim_health_state{domain="storage"} 1`) {
+		t.Fatalf("healthy gauge missing:\n%s", body)
+	}
+	h.Degrade("disk gone")
+	if body := scrape(); !strings.Contains(body, `slim_health_state{domain="storage"} 0`) {
+		t.Fatalf("degraded gauge missing:\n%s", body)
+	}
+	h.Recover()
+	if body := scrape(); !strings.Contains(body, `slim_health_state{domain="storage"} 1`) {
+		t.Fatalf("recovered gauge missing:\n%s", body)
+	}
+}

@@ -186,20 +186,26 @@ func NewRegistry() *Registry {
 // the same name with the same labels returns the existing counter;
 // reusing a name with a different metric type panics.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.getOrCreate(name, help, kindCounter, nil, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	var c *Counter
+	r.getOrCreate(name, help, kindCounter, func(s *series) {
+		if s.c == nil {
+			s.c = &Counter{}
+		}
+		c = s.c
+	}, labels)
+	return c
 }
 
 // Gauge registers (or finds) the gauge name{labels...}.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.getOrCreate(name, help, kindGauge, nil, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	var g *Gauge
+	r.getOrCreate(name, help, kindGauge, func(s *series) {
+		if s.g == nil {
+			s.g = &Gauge{}
+		}
+		g = s.g
+	}, labels)
+	return g
 }
 
 // Histogram registers (or finds) the histogram name{labels...} with the
@@ -209,11 +215,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if bounds == nil {
 		bounds = DefBuckets
 	}
-	s := r.getOrCreate(name, help, kindHistogram, nil, labels)
-	if s.h == nil {
-		s.h = newHistogram(bounds)
-	}
-	return s.h
+	var h *Histogram
+	r.getOrCreate(name, help, kindHistogram, func(s *series) {
+		if s.h == nil {
+			s.h = newHistogram(bounds)
+		}
+		h = s.h
+	}, labels)
+	return h
 }
 
 // CounterFunc registers a counter whose value is read from fn at scrape
@@ -222,14 +231,26 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 // fn must be safe for concurrent use and must not call back into the
 // registry.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
-	r.getOrCreate(name, help, kindCounter, func(s *series) { s.cf = fn }, labels)
+	r.getOrCreate(name, help, kindCounter, func(s *series) {
+		if s.cf == nil {
+			s.cf = fn
+		}
+	}, labels)
 }
 
 // GaugeFunc registers a gauge computed by fn at scrape time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	r.getOrCreate(name, help, kindGauge, func(s *series) { s.gf = fn }, labels)
+	r.getOrCreate(name, help, kindGauge, func(s *series) {
+		if s.gf == nil {
+			s.gf = fn
+		}
+	}, labels)
 }
 
+// getOrCreate finds or registers the series name{labels}. init runs
+// under the registry lock on both the found and the created series, so
+// constructors attach their instrument (idempotently) without racing a
+// concurrent scrape's reads of the series fields.
 func (r *Registry) getOrCreate(name, help string, k kind, init func(*series), labels []Label) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
@@ -248,6 +269,9 @@ func (r *Registry) getOrCreate(name, help string, k kind, init func(*series), la
 	}
 	for _, s := range f.series {
 		if s.labels == ls {
+			if init != nil {
+				init(s)
+			}
 			return s
 		}
 	}

@@ -13,7 +13,9 @@
 //	GET  /v1/links                    current links (?limit=&offset=&min_score=)
 //	GET  /v1/links/{entity}           links involving one entity (either side)
 //	GET  /v1/stats                    engine + candidate-index + storage statistics
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     liveness probe; always 200, the JSON body
+//	                                  names any degraded failure domain, its
+//	                                  cause, and since when
 //	GET  /readyz                      readiness probe: 503 until recovery and
 //	                                  the initial seed link have completed
 //
@@ -27,6 +29,14 @@
 // or relink lagging — requests are shed with 429 Too Many Requests and a
 // Retry-After hint instead of buffering unboundedly. A body larger than
 // the configured ingest limit is refused with 413.
+//
+// Degraded mode is different from overload: when the storage layer has
+// quarantined its WAL after a persistent write/fsync failure
+// (storage.ErrDegraded), accepting ingest would mean acknowledging
+// records that cannot be made durable, so both ingest paths answer 503
+// Service Unavailable + Retry-After (not 429 — the client must not
+// interpret a disk failure as its own send rate). Reads — /v1/links,
+// /v1/stats, /metrics, /healthz — keep serving throughout.
 package server
 
 import (
@@ -376,6 +386,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		rec.RadiusKm = r.RadiusKm
 		recs[i] = rec
 	}
+	if s.degraded(w, req) {
+		return
+	}
 	// Same backpressure policy as the binary plane: shed before anything
 	// is logged or buffered, so a 429'd batch is cleanly rejected.
 	release, err := s.plane.Admit(len(recs))
@@ -388,6 +401,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		err = s.eng.AddE(recs...)
 	} else {
 		err = s.eng.AddI(recs...)
+	}
+	if errors.Is(err, storage.ErrDegraded) {
+		// Storage quarantined its WAL between the check above and the
+		// append: same answer, the batch was not acknowledged.
+		s.serveDegraded(w, req, err)
+		return
 	}
 	if err != nil {
 		// The batch was not durably logged and was not buffered: the
@@ -431,6 +450,9 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 		s.error(w, req, http.StatusBadRequest, err.Error())
 		return
 	}
+	if s.degraded(w, req) {
+		return
+	}
 	release, err := s.plane.Admit(records)
 	if err != nil {
 		s.shed(w, req, err)
@@ -438,6 +460,10 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 	}
 	defer release()
 	applied, err := s.plane.Submit(batches)
+	if errors.Is(err, storage.ErrDegraded) && applied == 0 {
+		s.serveDegraded(w, req, err)
+		return
+	}
 	if err != nil {
 		// The applied prefix is durable and buffered; the failed tail is
 		// neither logged nor visible and must be retried by the client.
@@ -451,6 +477,41 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, req *http.Request) {
 		Batches:  len(batches),
 		Pending:  s.eng.Pending(),
 	})
+}
+
+// degradedRetryAfter is the client retry hint while storage is
+// quarantined: the reopen loop's capped backoff means recovery is
+// usually either sub-second or not imminent, so a short fixed hint
+// keeps well-behaved clients probing without hammering.
+const degradedRetryAfter = 1 // seconds
+
+// degraded answers the request with 503 when the storage layer is in
+// degraded read-only mode, reporting whether it did. Checked before
+// admission on both ingest paths so a disk failure reads as "service
+// unavailable, retry", never as client-rate 429.
+func (s *Server) degraded(w http.ResponseWriter, req *http.Request) bool {
+	if s.store == nil || !s.store.Degraded() {
+		return false
+	}
+	s.serveDegraded(w, req, storage.ErrDegraded)
+	return true
+}
+
+// serveDegraded is the degraded-mode rejection: 503 + Retry-After with
+// a JSON body naming the failing domain. Distinct from shed (429): the
+// client's send rate is not the problem, the node's disk is.
+func (s *Server) serveDegraded(w http.ResponseWriter, req *http.Request, err error) {
+	s.setOutcome(req, "degraded")
+	w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfter))
+	body := map[string]any{
+		"error":               err.Error(),
+		"domain":              "storage",
+		"retry_after_seconds": degradedRetryAfter,
+	}
+	if id := requestID(req); id != "" {
+		body["request_id"] = id
+	}
+	s.json(w, http.StatusServiceUnavailable, body)
 }
 
 // shed answers a load-shed rejection: 429 with a Retry-After header and
@@ -680,17 +741,22 @@ type statsResponse struct {
 	// CandidateIndex reports the incremental LSH index behind them and
 	// EdgeStore the incremental scored-edge state; RunsShortCircuited
 	// counts fully-clean relinks that republished the cached result.
-	DirtyShardsLastRun int                 `json:"dirty_shards_last_run"`
-	RunsShortCircuited uint64              `json:"runs_short_circuited"`
-	Runs               uint64              `json:"runs"`
-	Version            uint64              `json:"version"`
-	LastRunUnixMs      int64               `json:"last_run_unix_ms,omitempty"`
-	Links              int                 `json:"links"`
-	Threshold          float64             `json:"threshold"`
-	CandidateIndex     *candidateIndexJSON `json:"candidate_index,omitempty"`
-	EdgeStore          *edgeStoreJSON      `json:"edge_store,omitempty"`
-	Storage            *storageStatsJSON   `json:"storage,omitempty"`
-	Ingest             *ingestStatsJSON    `json:"ingest,omitempty"`
+	DirtyShardsLastRun int    `json:"dirty_shards_last_run"`
+	RunsShortCircuited uint64 `json:"runs_short_circuited"`
+	Runs               uint64 `json:"runs"`
+	// RelinkPanics counts contained relink-run panics (failed runs that
+	// republished the previous result); LoopRestarts counts supervisor
+	// restarts of the background scheduler after it died.
+	RelinkPanics   uint64              `json:"relink_panics"`
+	LoopRestarts   uint64              `json:"loop_restarts"`
+	Version        uint64              `json:"version"`
+	LastRunUnixMs  int64               `json:"last_run_unix_ms,omitempty"`
+	Links          int                 `json:"links"`
+	Threshold      float64             `json:"threshold"`
+	CandidateIndex *candidateIndexJSON `json:"candidate_index,omitempty"`
+	EdgeStore      *edgeStoreJSON      `json:"edge_store,omitempty"`
+	Storage        *storageStatsJSON   `json:"storage,omitempty"`
+	Ingest         *ingestStatsJSON    `json:"ingest,omitempty"`
 }
 
 // ingestStatsJSON is the wire form of the shared ingest-plane state:
@@ -725,6 +791,8 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		DirtyShardsLastRun: st.DirtyShardsLastRun,
 		RunsShortCircuited: st.RunsShortCircuited,
 		Runs:               st.Runs,
+		RelinkPanics:       st.RelinkPanics,
+		LoopRestarts:       st.LoopRestarts,
 		Version:            st.Version,
 		Links:              st.Links,
 		Threshold:          st.Threshold,
@@ -811,6 +879,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	info, err := s.store.Checkpoint()
+	if errors.Is(err, storage.ErrDegraded) {
+		s.serveDegraded(w, req, err)
+		return
+	}
 	if err != nil {
 		s.error(w, req, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
 		return
@@ -823,8 +895,45 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// healthDomainJSON is one failure domain's state on /healthz.
+type healthDomainJSON struct {
+	Domain string `json:"domain"`
+	Status string `json:"status"`
+	// Cause and SinceUnixMs are set while the domain is degraded: the
+	// recorded failure and when it was first observed.
+	Cause       string `json:"cause,omitempty"`
+	SinceUnixMs int64  `json:"since_unix_ms,omitempty"`
+}
+
+type healthzResponse struct {
+	// Status is "ok" when every domain is healthy, "degraded" otherwise.
+	// The HTTP status stays 200 either way: /healthz is liveness, and a
+	// node in degraded read-only mode is alive and serving reads —
+	// restarting it would only lose the quarantined-batch re-log. Load
+	// balancers act on /readyz; operators and probes that understand
+	// degraded mode act on this body (or the slim_health_state gauge).
+	Status  string             `json:"status"`
+	Domains []healthDomainJSON `json:"domains,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	s.json(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthzResponse{Status: "ok"}
+	report := func(domain string, state obs.HealthState, cause string, since time.Time) {
+		d := healthDomainJSON{Domain: domain, Status: state.String()}
+		if state != obs.Healthy {
+			resp.Status = "degraded"
+			d.Cause = cause
+			d.SinceUnixMs = since.UnixMilli()
+		}
+		resp.Domains = append(resp.Domains, d)
+	}
+	if s.store != nil {
+		state, cause, since := s.store.Health()
+		report("storage", state, cause, since)
+	}
+	state, cause, since := s.eng.Health()
+	report("relink", state, cause, since)
+	s.json(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {

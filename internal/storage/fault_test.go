@@ -1,0 +1,373 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"slim"
+	"slim/internal/fault"
+)
+
+// faultOpts is the baseline Options for the fault tests: inline fsync
+// (an ack is a durability promise the tests can hold the store to), a
+// fast reopen loop, and no automatic checkpoints (the tests place their
+// own so call counts stay deterministic).
+func faultOpts(fs FS) Options {
+	return Options{
+		FsyncInterval:     0,
+		SnapshotEveryRuns: -1,
+		SnapshotBytes:     -1,
+		ReopenBackoff:     time.Millisecond,
+		ReopenMaxBackoff:  20 * time.Millisecond,
+		FS:                fs,
+	}
+}
+
+func waitHealthy(t *testing.T, st *Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Degraded() {
+		if time.Now().After(deadline) {
+			_, cause, _ := st.Health()
+			t.Fatalf("store did not recover from degraded mode (cause: %s)", cause)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// streamEntities collects the entity ids in a recovered store's stream
+// buffers (both datasets).
+func streamEntities(st *Store) map[string]int {
+	out := map[string]int{}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, r := range st.streamE {
+		out[string(r.Entity)]++
+	}
+	for _, r := range st.streamI {
+		out[string(r.Entity)]++
+	}
+	return out
+}
+
+// TestFaultFSQuietParity pins the seam refactor: the byte stream an
+// unarmed FaultFS lets through is identical to OSFS's — same file
+// names, same contents, for a workload covering appends, rotation, a
+// mid-cycle checkpoint, and a clean close.
+func TestFaultFSQuietParity(t *testing.T) {
+	run := func(dir string, fs FS) {
+		t.Helper()
+		opts := faultOpts(fs)
+		opts.SegmentBytes = 4 << 10 // tiny segments force rotation
+		eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		for i := 0; i < 24; i++ {
+			recs := mkRecs(fmt.Sprintf("e-%d", i), float64(i)*0.2, 8, 1_000_000)
+			if err := st.LogE(recs); err != nil {
+				t.Fatal(err)
+			}
+			if i == 11 {
+				if _, err := st.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	run(dirA, OSFS)
+	run(dirB, NewFaultFS(OSFS, fault.New()))
+
+	entriesA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesB, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entriesA) != len(entriesB) {
+		t.Fatalf("file counts differ: OSFS %d vs FaultFS %d", len(entriesA), len(entriesB))
+	}
+	for i, ea := range entriesA {
+		eb := entriesB[i]
+		if ea.Name() != eb.Name() {
+			t.Fatalf("file %d: name %q vs %q", i, ea.Name(), eb.Name())
+		}
+		bufA, err := os.ReadFile(filepath.Join(dirA, ea.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufB, err := os.ReadFile(filepath.Join(dirB, eb.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bufA) != string(bufB) {
+			t.Fatalf("%s: contents differ (%d vs %d bytes)", ea.Name(), len(bufA), len(bufB))
+		}
+	}
+}
+
+// TestDegradedInlineFailedAppendNotRelogged is the duplicate-sequence
+// hazard check: under inline fsync a failed append never consumed its
+// sequence number, so its bytes must be truncated away — not re-logged —
+// or the next acknowledged batch (which reuses the sequence) would
+// collide with it on replay.
+func TestDegradedInlineFailedAppendNotRelogged(t *testing.T) {
+	inj := fault.New()
+	dir := t.TempDir()
+	eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), faultOpts(NewFaultFS(OSFS, inj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if err := st.LogE(mkRecs("e-acked", 0, 4, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(SiteFSSync, fault.Rule{Count: 1})
+	err = st.LogE(mkRecs("e-failed", 0.5, 4, 1_000_000))
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("failed-fsync append error = %v, want ErrDegraded", err)
+	}
+	if !st.Degraded() {
+		t.Fatal("store not degraded after fsync failure")
+	}
+	if _, err := st.Checkpoint(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded checkpoint error = %v, want ErrDegraded", err)
+	}
+	if err := st.LogE(mkRecs("e-while-degraded", 1, 4, 1_000_000)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded append error = %v, want ErrDegraded", err)
+	}
+	waitHealthy(t, st)
+	if err := st.LogE(mkRecs("e-post", 1.5, 4, 1_000_000)); err != nil {
+		t.Fatalf("post-recovery append failed: %v", err)
+	}
+	st.crashClose()
+
+	_, st2, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), Options{})
+	if err != nil {
+		t.Fatalf("recovery after degraded episode failed: %v", err)
+	}
+	defer st2.crashClose()
+	have := streamEntities(st2)
+	if have["e-acked"] != 4 || have["e-post"] != 4 {
+		t.Fatalf("acked batches lost: %v", have)
+	}
+	if have["e-failed"] != 0 || have["e-while-degraded"] != 0 {
+		t.Fatalf("nacked batches surfaced after recovery: %v", have)
+	}
+}
+
+// TestDegradedGroupCommitRelogsNackedBatch: under group commit a failed
+// batched fsync nacks the client but the store already buffered the
+// batch. The reopen must re-log it exactly once (old copy truncated
+// away, one fresh copy) and hand it to OnRelog so the serving layer can
+// re-buffer what the engine rejected.
+func TestDegradedGroupCommitRelogsNackedBatch(t *testing.T) {
+	inj := fault.New()
+	// OnRelog fires on the reopen goroutine; guard the capture.
+	var (
+		relogMu  sync.Mutex
+		relogged []slim.Record
+	)
+	opts := faultOpts(NewFaultFS(OSFS, inj))
+	opts.FsyncInterval = time.Millisecond
+	opts.OnRelog = func(tag byte, recs []slim.Record) {
+		if tag == TagE {
+			relogMu.Lock()
+			relogged = append(relogged, recs...)
+			relogMu.Unlock()
+		}
+	}
+	dir := t.TempDir()
+	eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if err := st.LogE(mkRecs("e-acked", 0, 4, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(SiteFSSync, fault.Rule{Count: 1})
+	err = st.LogE(mkRecs("e-nacked", 0.5, 4, 1_000_000))
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("failed group-commit error = %v, want ErrDegraded", err)
+	}
+	waitHealthy(t, st)
+	relogMu.Lock()
+	if len(relogged) != 4 || string(relogged[0].Entity) != "e-nacked" {
+		t.Fatalf("OnRelog saw %d records (%v), want the 4 nacked ones", len(relogged), relogged)
+	}
+	relogMu.Unlock()
+	if err := st.LogE(mkRecs("e-post", 1, 4, 1_000_000)); err != nil {
+		t.Fatalf("post-recovery append failed: %v", err)
+	}
+	st.crashClose()
+
+	_, st2, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), Options{})
+	if err != nil {
+		t.Fatalf("recovery after degraded episode failed: %v", err)
+	}
+	defer st2.crashClose()
+	have := streamEntities(st2)
+	for _, id := range []string{"e-acked", "e-nacked", "e-post"} {
+		if have[id] != 4 {
+			t.Errorf("%s recovered %d times, want exactly 4 records once", id, have[id])
+		}
+	}
+}
+
+// TestReopenRetriesUntilFaultClears: the reopen loop must survive its
+// own failures — each attempt that dies (here: the fresh segment's
+// create fails three times) is counted, backed off from, and retried
+// until the fault clears.
+func TestReopenRetriesUntilFaultClears(t *testing.T) {
+	inj := fault.New()
+	dir := t.TempDir()
+	eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), faultOpts(NewFaultFS(OSFS, inj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// The next three OpenFile calls are the reopen attempts' fresh
+	// segments; the fsync fault below triggers the degraded episode.
+	inj.Arm(SiteFSOpenFile, fault.Rule{Count: 3})
+	inj.Arm(SiteFSSync, fault.Rule{Count: 1})
+	if err := st.LogE(mkRecs("e-x", 0, 4, 1_000_000)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append error = %v, want ErrDegraded", err)
+	}
+	waitHealthy(t, st)
+	if got := st.Stats().ReopenRetries; got < 4 {
+		t.Fatalf("reopen retries = %d, want >= 4 (three failed attempts + success)", got)
+	}
+	if stats := st.Stats(); stats.Health != "healthy" || stats.DegradedCause != "" {
+		t.Fatalf("post-recovery stats health = %q cause %q", stats.Health, stats.DegradedCause)
+	}
+	if err := st.LogE(mkRecs("e-y", 0.5, 4, 1_000_000)); err != nil {
+		t.Fatalf("post-recovery append failed: %v", err)
+	}
+	st.crashClose()
+}
+
+// TestFSFailureSweep fails every FS call site at every call index of a
+// fixed workload and asserts the two invariants the storage layer
+// promises under arbitrary single I/O faults: the process never panics,
+// and a later fault-free recovery of the directory succeeds and holds
+// every batch the workload acked.
+//
+// The workload covers the whole I/O footprint: it boots against a
+// pre-seeded directory (snapshot load + WAL replay reads), appends with
+// a mid-cycle checkpoint and segment rotation, provokes one degraded
+// episode via a separate always-armed episode injector (so the
+// quarantine truncate + reopen path is part of the swept surface), and
+// closes cleanly.
+func TestFSFailureSweep(t *testing.T) {
+	// seed populates dir fault-free so the workload's boot replays real
+	// state (snapshot + WAL tail).
+	seed := func(dir string) {
+		eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), faultOpts(OSFS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.LogE(mkRecs("e-seed", 2.4, 6, 1_000_000)); err != nil {
+			t.Fatal(err)
+		}
+		st.crashClose()
+		eng.Close()
+	}
+
+	// workload runs the probe against dir; acked collects the entity ids
+	// of batches LogE acknowledged. The episode injector (fresh per run,
+	// outermost) fails the 7th fsync — deterministically a WAL append
+	// fsync after the mid-cycle checkpoint — forcing a degraded episode
+	// whose repair hits the truncate/reopen sites on the swept fs.
+	workload := func(dir string, fs FS) (acked []string) {
+		episode := fault.New()
+		episode.Arm(SiteFSSync, fault.Rule{After: 6, Count: 1})
+		opts := faultOpts(NewFaultFS(fs, episode))
+		opts.SegmentBytes = 2 << 10 // rotation mid-workload
+		eng, st, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), opts)
+		if err != nil {
+			return nil // boot-time fail-stop: a legal outcome under injection
+		}
+		defer eng.Close()
+		for i := 0; i < 8; i++ {
+			id := fmt.Sprintf("e-%d", i)
+			if err := st.LogE(mkRecs(id, float64(i)*0.3, 6, 1_000_000)); err == nil {
+				acked = append(acked, id)
+			} else if errors.Is(err, ErrDegraded) {
+				// Wait out the reopen so later batches exercise the recovered
+				// path too.
+				deadline := time.Now().Add(5 * time.Second)
+				for st.Degraded() && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			if i == 3 {
+				_, _ = st.Checkpoint()
+			}
+		}
+		_ = st.Close()
+		return acked
+	}
+
+	// Baseline pass: count how often each site is hit so the sweep can
+	// enumerate every call index. The workload is deterministic under
+	// inline fsync (no background syncer).
+	baseline := fault.New()
+	baseDir := t.TempDir()
+	seed(baseDir)
+	ackedBase := workload(baseDir, NewFaultFS(OSFS, baseline))
+	if len(ackedBase) != 7 { // one batch is nacked by the provoked episode
+		t.Fatalf("baseline acked %d/7 batches: %v", len(ackedBase), ackedBase)
+	}
+
+	verify := func(name, dir string, acked []string) {
+		t.Helper()
+		eng2, st2, _, err := Recover(dir, emptyDS("E"), emptyDS("I"), testEngineCfg(), Options{})
+		if err != nil {
+			t.Errorf("%s: recovery after fault failed: %v", name, err)
+			return
+		}
+		have := streamEntities(st2)
+		for _, id := range append([]string{"e-seed"}, acked...) {
+			if have[id] != 6 {
+				t.Errorf("%s: acked batch %s recovered %d records, want 6", name, id, have[id])
+			}
+		}
+		st2.crashClose()
+		eng2.Close()
+	}
+	verify("baseline", baseDir, ackedBase)
+
+	for _, site := range FaultSites {
+		hits := baseline.Hits(site)
+		if hits == 0 {
+			t.Errorf("site %s never hit by the probe workload", site)
+			continue
+		}
+		for idx := 0; idx < hits; idx++ {
+			name := fmt.Sprintf("%s@%d", site, idx)
+			inj := fault.New()
+			inj.Arm(site, fault.Rule{After: idx, Count: 1})
+			dir := t.TempDir()
+			seed(dir)
+			acked := workload(dir, NewFaultFS(OSFS, inj)) // must not panic
+			// Fault-free recovery must succeed and hold every acked batch.
+			verify(name, dir, acked)
+		}
+	}
+}

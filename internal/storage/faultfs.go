@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"os"
+
+	"slim/internal/fault"
+)
+
+// Fault-injection site names of the FS seam. Every FS method hits its
+// site once per call (before delegating), and every File method hits
+// its site once per call on any file the FS opened — so a Rule with
+// After=k fails exactly the k+1-th call of that kind, which is how the
+// failure sweeps enumerate the whole I/O footprint.
+const (
+	SiteFSOpenFile   = "fs.openfile"
+	SiteFSCreateTemp = "fs.createtemp"
+	SiteFSRename     = "fs.rename"
+	SiteFSRemove     = "fs.remove"
+	SiteFSTruncate   = "fs.truncate"
+	SiteFSReadDir    = "fs.readdir"
+	SiteFSReadFile   = "fs.readfile"
+	SiteFSStat       = "fs.stat"
+	SiteFSMkdirAll   = "fs.mkdirall"
+	SiteFSSyncDir    = "fs.syncdir"
+	SiteFSWrite      = "fs.write"
+	SiteFSSync       = "fs.sync"
+	SiteFSClose      = "fs.close"
+)
+
+// FaultSites lists every FS-seam site (sweep enumeration).
+var FaultSites = []string{
+	SiteFSOpenFile, SiteFSCreateTemp, SiteFSRename, SiteFSRemove,
+	SiteFSTruncate, SiteFSReadDir, SiteFSReadFile, SiteFSStat,
+	SiteFSMkdirAll, SiteFSSyncDir, SiteFSWrite, SiteFSSync, SiteFSClose,
+}
+
+// NewFaultFS wraps inner so every operation first consults the
+// injector. With a nil or unarmed injector it is a passthrough; armed
+// rules make the wrapped call fail (or stall, or panic) without
+// touching the real filesystem on error injection — the byte stream
+// reaching disk through a quiet FaultFS is identical to OSFS's, which
+// the parity test pins.
+func NewFaultFS(inner FS, inj *fault.Injector) FS {
+	return &faultFS{inner: inner, inj: inj}
+}
+
+type faultFS struct {
+	inner FS
+	inj   *fault.Injector
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.inj.Hit(SiteFSOpenFile); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.inj.Hit(SiteFSCreateTemp); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.inj.Hit(SiteFSRename); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.inj.Hit(SiteFSRemove); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) Truncate(name string, size int64) error {
+	if err := f.inj.Hit(SiteFSTruncate); err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *faultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.inj.Hit(SiteFSReadDir); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.inj.Hit(SiteFSReadFile); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *faultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.inj.Hit(SiteFSStat); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.inj.Hit(SiteFSMkdirAll); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if err := f.inj.Hit(SiteFSSyncDir); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	inner File
+	inj   *fault.Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.inj.Hit(SiteFSWrite); err != nil {
+		return 0, &os.PathError{Op: "write", Path: f.inner.Name(), Err: err}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.inj.Hit(SiteFSSync); err != nil {
+		return &os.PathError{Op: "sync", Path: f.inner.Name(), Err: err}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.inj.Hit(SiteFSClose); err != nil {
+		// The real file is still closed: an injected close failure models
+		// close(2) reporting a deferred write error, after which the
+		// descriptor is gone either way.
+		_ = f.inner.Close()
+		return &os.PathError{Op: "close", Path: f.inner.Name(), Err: err}
+	}
+	return f.inner.Close()
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }

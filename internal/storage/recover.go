@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"os"
 
 	"slim"
 	"slim/internal/engine"
@@ -46,17 +45,18 @@ type RecoverInfo struct {
 // callers must boot with the same linkage configuration across restarts.
 func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Options) (*engine.Engine, *Store, RecoverInfo, error) {
 	var info RecoverInfo
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.fs()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, info, err
 	}
 	// Sweep snapshot temp files orphaned by a crash mid-write, so a
 	// process crash-looping during checkpoints cannot fill the disk with
 	// full-state-sized leftovers.
-	if err := removeOrphanTemps(dir); err != nil {
+	if err := removeOrphanTemps(fs, dir); err != nil {
 		return nil, nil, info, err
 	}
 
-	snap, err := loadNewestSnapshot(dir)
+	snap, err := loadNewestSnapshot(fs, dir)
 	if err != nil {
 		return nil, nil, info, err
 	}
@@ -73,7 +73,7 @@ func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Opti
 		}
 	}
 
-	lastSeq, batches, err := replayWAL(dir, snap.lastSeq, func(b Batch) error {
+	lastSeq, batches, err := replayWAL(fs, dir, snap.lastSeq, func(b Batch) error {
 		if b.Tag == TagE {
 			snap.streamE = append(snap.streamE, b.Recs...)
 		} else {
@@ -96,7 +96,7 @@ func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Opti
 	// Each process generation appends to a fresh segment, past any torn
 	// tail left by a crash.
 	nextIdx := uint64(1)
-	if segs, err := listSegments(dir); err != nil {
+	if segs, err := listSegments(fs, dir); err != nil {
 		return nil, nil, info, err
 	} else if len(segs) > 0 {
 		nextIdx = segs[len(segs)-1].index + 1
@@ -105,20 +105,25 @@ func Recover(dir string, seedE, seedI slim.Dataset, cfg engine.Config, opts Opti
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	w, err := openWAL(dir, nextIdx, opts.SegmentBytes, opts.FsyncInterval, newWALMetrics(reg))
+	walm := newWALMetrics(reg)
+	w, err := openWAL(fs, dir, nextIdx, opts.SegmentBytes, opts.FsyncInterval, walm)
 	if err != nil {
 		return nil, nil, info, err
 	}
 
 	st := &Store{
-		dir:     dir,
-		opts:    opts,
-		wal:     w,
-		seedE:   snap.seedE,
-		seedI:   snap.seedI,
-		streamE: snap.streamE,
-		streamI: snap.streamI,
-		nextSeq: lastSeq + 1,
+		dir:        dir,
+		opts:       opts,
+		fs:         fs,
+		walm:       walm,
+		wal:        w,
+		seedE:      snap.seedE,
+		seedI:      snap.seedI,
+		streamE:    snap.streamE,
+		streamI:    snap.streamI,
+		nextSeq:    lastSeq + 1,
+		health:     obs.NewHealth(reg, "storage"),
+		stopReopen: make(chan struct{}),
 	}
 	st.registerMetrics(reg)
 	info.SeedRecords = len(st.seedE.Records) + len(st.seedI.Records)

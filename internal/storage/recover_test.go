@@ -165,7 +165,7 @@ func TestRecoverAfterCheckpoint(t *testing.T) {
 
 	// The checkpoint truncated the segments it covers: replay from zero
 	// must see only the two tail batches.
-	if _, n, err := replayWAL(dir, 0, nil); err != nil || n != 2 {
+	if _, n, err := replayWAL(OSFS, dir, 0, nil); err != nil || n != 2 {
 		t.Fatalf("post-checkpoint WAL holds %d batches (%v), want 2", n, err)
 	}
 
@@ -250,7 +250,7 @@ func TestRecoverTornWAL(t *testing.T) {
 	st.crashClose()
 	eng.Close()
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(OSFS, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("segments: %v, %v", segs, err)
 	}

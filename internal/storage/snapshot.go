@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -176,15 +175,15 @@ func decodeSnapshot(buf []byte) (*snapshotData, error) {
 
 // writeSnapshot durably writes the snapshot: temp file, fsync, atomic
 // rename, directory fsync. Returns the final path.
-func writeSnapshot(dir string, d *snapshotData) (string, error) {
+func writeSnapshot(fs FS, dir string, d *snapshotData) (string, error) {
 	buf := encodeSnapshot(d)
 	final := filepath.Join(dir, snapName(d.lastSeq))
-	tmp, err := os.CreateTemp(dir, snapPrefix+"*.tmp")
+	tmp, err := fs.CreateTemp(dir, snapPrefix+"*.tmp")
 	if err != nil {
 		return "", err
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { os.Remove(tmpName) }
+	cleanup := func() { fs.Remove(tmpName) }
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		cleanup()
@@ -199,11 +198,11 @@ func writeSnapshot(dir string, d *snapshotData) (string, error) {
 		cleanup()
 		return "", err
 	}
-	if err := os.Rename(tmpName, final); err != nil {
+	if err := fs.Rename(tmpName, final); err != nil {
 		cleanup()
 		return "", err
 	}
-	return final, syncDir(dir)
+	return final, fs.SyncDir(dir)
 }
 
 // snapshotFile is one snapshot found on disk.
@@ -214,8 +213,8 @@ type snapshotFile struct {
 
 // listSnapshots returns the directory's snapshots, newest (highest
 // lastSeq) first. Leftover temp files are ignored.
-func listSnapshots(dir string) ([]snapshotFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fs FS, dir string) ([]snapshotFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -243,8 +242,8 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 // then permanently destroy the damaged history at the next checkpoint
 // truncation. The operator must remove the named file to accept that
 // loss explicitly.
-func loadNewestSnapshot(dir string) (*snapshotData, error) {
-	snaps, err := listSnapshots(dir)
+func loadNewestSnapshot(fs FS, dir string) (*snapshotData, error) {
+	snaps, err := listSnapshots(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +251,7 @@ func loadNewestSnapshot(dir string) (*snapshotData, error) {
 		return nil, nil
 	}
 	sf := snaps[0]
-	buf, err := os.ReadFile(sf.path)
+	buf, err := fs.ReadFile(sf.path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading %s: %w", sf.path, err)
 	}
@@ -266,15 +265,15 @@ func loadNewestSnapshot(dir string) (*snapshotData, error) {
 // removeOrphanTemps deletes snapshot temp files left by a crash between
 // CreateTemp and the atomic rename. Called from Recover, before any
 // concurrent checkpoint can be writing a live temp file.
-func removeOrphanTemps(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeOrphanTemps(fs FS, dir string) error {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, ".tmp") {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
 		}
@@ -284,17 +283,17 @@ func removeOrphanTemps(dir string) error {
 
 // removeSnapshotsBefore deletes snapshots older than keepSeq (called
 // after a newer snapshot is durable).
-func removeSnapshotsBefore(dir string, keepSeq uint64) error {
-	snaps, err := listSnapshots(dir)
+func removeSnapshotsBefore(fs FS, dir string, keepSeq uint64) error {
+	snaps, err := listSnapshots(fs, dir)
 	if err != nil {
 		return err
 	}
 	for _, sf := range snaps {
 		if sf.lastSeq < keepSeq {
-			if err := os.Remove(sf.path); err != nil {
+			if err := fs.Remove(sf.path); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }

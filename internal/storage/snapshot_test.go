@@ -31,14 +31,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	dir := t.TempDir()
 	in := testSnapshotData(rng)
-	path, err := writeSnapshot(dir, in)
+	path, err := writeSnapshot(OSFS, dir, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if filepath.Base(path) != snapName(42) {
 		t.Fatalf("snapshot path %s", path)
 	}
-	out, err := loadNewestSnapshot(dir)
+	out, err := loadNewestSnapshot(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +58,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotNoResult(t *testing.T) {
 	dir := t.TempDir()
 	in := &snapshotData{lastSeq: 1, seedE: slim.Dataset{Name: "E"}, seedI: slim.Dataset{Name: "I"}}
-	if _, err := writeSnapshot(dir, in); err != nil {
+	if _, err := writeSnapshot(OSFS, dir, in); err != nil {
 		t.Fatal(err)
 	}
-	out, err := loadNewestSnapshot(dir)
+	out, err := loadNewestSnapshot(OSFS, dir)
 	if err != nil || out == nil || out.result != nil {
 		t.Fatalf("out=%+v err=%v", out, err)
 	}
@@ -77,18 +77,18 @@ func TestSnapshotLoaderFailsStopOnCorruption(t *testing.T) {
 	dir := t.TempDir()
 	old := testSnapshotData(rng)
 	old.lastSeq = 10
-	if _, err := writeSnapshot(dir, old); err != nil {
+	if _, err := writeSnapshot(OSFS, dir, old); err != nil {
 		t.Fatal(err)
 	}
 	newer := testSnapshotData(rng)
 	newer.lastSeq = 20
-	path, err := writeSnapshot(dir, newer)
+	path, err := writeSnapshot(OSFS, dir, newer)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Sanity: with both valid, the newest wins.
-	got, err := loadNewestSnapshot(dir)
+	got, err := loadNewestSnapshot(OSFS, dir)
 	if err != nil || got == nil || got.lastSeq != 20 {
 		t.Fatalf("got %+v, %v", got, err)
 	}
@@ -102,7 +102,7 @@ func TestSnapshotLoaderFailsStopOnCorruption(t *testing.T) {
 	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadNewestSnapshot(dir); err == nil {
+	if _, err := loadNewestSnapshot(OSFS, dir); err == nil {
 		t.Fatal("corrupt newest snapshot loaded (or silently skipped)")
 	}
 
@@ -111,7 +111,7 @@ func TestSnapshotLoaderFailsStopOnCorruption(t *testing.T) {
 	if err := os.Remove(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err = loadNewestSnapshot(dir)
+	got, err = loadNewestSnapshot(OSFS, dir)
 	if err != nil || got == nil || got.lastSeq != 10 {
 		t.Fatalf("after removal: got %+v, %v", got, err)
 	}
@@ -122,7 +122,7 @@ func TestSnapshotIgnoresTempFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, snapPrefix+"12345.tmp"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadNewestSnapshot(dir)
+	got, err := loadNewestSnapshot(OSFS, dir)
 	if err != nil || got != nil {
 		t.Fatalf("temp file treated as snapshot: %+v, %v", got, err)
 	}
@@ -134,14 +134,14 @@ func TestRemoveSnapshotsBefore(t *testing.T) {
 	for _, seq := range []uint64{5, 10, 15} {
 		d := testSnapshotData(rng)
 		d.lastSeq = seq
-		if _, err := writeSnapshot(dir, d); err != nil {
+		if _, err := writeSnapshot(OSFS, dir, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := removeSnapshotsBefore(dir, 15); err != nil {
+	if err := removeSnapshotsBefore(OSFS, dir, 15); err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

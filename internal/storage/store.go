@@ -3,8 +3,10 @@ package storage
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,20 @@ import (
 	"slim"
 	"slim/internal/obs"
 )
+
+// ErrDegraded is returned by write operations while the store is in
+// degraded read-only mode: a WAL append or fsync failed persistently,
+// the active segment is quarantined, and a background loop is retrying
+// to reopen a fresh segment with capped exponential backoff. Reads
+// (links, stats, metrics) keep serving; writers should surface 503 +
+// Retry-After, distinct from admission-control shedding (429).
+var ErrDegraded = errors.New("storage: degraded (WAL write path down, reopen in progress)")
+
+// DefaultReopenBackoff is the initial degraded-mode reopen retry delay.
+const DefaultReopenBackoff = 50 * time.Millisecond
+
+// DefaultReopenMaxBackoff caps the degraded-mode reopen retry delay.
+const DefaultReopenMaxBackoff = 5 * time.Second
 
 // DefaultSnapshotEveryRuns is the auto-checkpoint relink cadence.
 const DefaultSnapshotEveryRuns = 8
@@ -43,6 +59,21 @@ type Options struct {
 	// size). A nil Registry wires the metrics to a private, unscraped
 	// registry, so instrumentation is always on.
 	Registry *obs.Registry
+	// FS overrides the filesystem implementation (nil = OSFS). Tests use
+	// NewFaultFS to fail any Write/Sync/Rename/Close at any call index.
+	FS FS
+	// OnRelog, when set, is called once per quarantined batch that a
+	// successful degraded-mode reopen re-logged into the fresh segment.
+	// These are batches the store buffered but whose group-commit fsync
+	// failed — the engine rejected them at ingest time, so the serving
+	// layer uses this hook to re-buffer them and keep engine state
+	// converged with the store (at-least-once; see reopenLoop).
+	OnRelog func(tag byte, recs []slim.Record)
+	// ReopenBackoff is the initial degraded-mode reopen retry delay
+	// (0 = DefaultReopenBackoff); it doubles per attempt up to
+	// ReopenMaxBackoff (0 = DefaultReopenMaxBackoff).
+	ReopenBackoff    time.Duration
+	ReopenMaxBackoff time.Duration
 }
 
 func (o Options) snapshotEveryRuns() int {
@@ -59,6 +90,27 @@ func (o Options) snapshotBytes() int64 {
 	return o.SnapshotBytes
 }
 
+func (o Options) fs() FS {
+	if o.FS == nil {
+		return OSFS
+	}
+	return o.FS
+}
+
+func (o Options) reopenBackoff() time.Duration {
+	if o.ReopenBackoff <= 0 {
+		return DefaultReopenBackoff
+	}
+	return o.ReopenBackoff
+}
+
+func (o Options) reopenMaxBackoff() time.Duration {
+	if o.ReopenMaxBackoff <= 0 {
+		return DefaultReopenMaxBackoff
+	}
+	return o.ReopenMaxBackoff
+}
+
 // Store is the durable home of one engine's state: it logs every ingest
 // batch to the WAL before the engine buffers it, keeps the authoritative
 // in-memory copy of the seed datasets and all streamed records, and
@@ -67,6 +119,8 @@ func (o Options) snapshotBytes() int64 {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
+	walm walMetrics
 
 	mu               sync.Mutex
 	wal              *wal
@@ -77,6 +131,15 @@ type Store struct {
 	runsSinceSnap    int
 	bytesSinceSnap   int64
 	closed           bool
+
+	// Degraded read-only mode: set by the first persistent WAL failure,
+	// cleared when the supervised reopen loop brings a fresh segment up.
+	// The health tracker carries the cause and since-when for /healthz.
+	degraded      atomic.Bool
+	health        *obs.Health
+	reopenRetries atomic.Uint64
+	stopReopen    chan struct{}
+	stopOnce      sync.Once
 
 	// snapMu serializes whole checkpoints (auto trigger vs. the manual
 	// /v1/snapshot endpoint vs. Close).
@@ -125,6 +188,9 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 			defer s.mu.Unlock()
 			return float64(s.nextSeq)
 		})
+	reg.CounterFunc("slim_storage_reopen_retries_total",
+		"Degraded-mode WAL reopen attempts (successful or not) since this process started.",
+		s.reopenRetries.Load)
 	reg.CounterFunc("slim_storage_snapshots_total",
 		"Checkpoints completed by this process.", s.snapshots.Load)
 	reg.GaugeFunc("slim_storage_last_snapshot_seq",
@@ -151,10 +217,11 @@ func (s *Store) LogI(recs []slim.Record) error { return s.log(TagI, recs) }
 // wait: under fsync-interval > 0 a failed batched fsync therefore
 // leaves the store holding a batch the engine rejected. That divergence
 // can never reach disk — a failed fsync poisons the WAL (sticky ioErr),
-// so every later Append and Checkpoint/Rotate fails and the store is
-// effectively dead until restart. Whether the nacked frame survives in
-// the OS page cache and replays after restart is the inherent ambiguity
-// of a failed fsync; replaying it is the safe side (at-least-once).
+// so every later Append and Checkpoint/Rotate on it fails; the store
+// flips to degraded read-only mode and a background loop quarantines
+// the poisoned segment and reopens a fresh one, re-logging exactly
+// these buffered-but-nacked batches so the divergence heals instead of
+// persisting (at-least-once — never trust a failed fsync).
 func (s *Store) log(tag byte, recs []slim.Record) error {
 	for i := range recs {
 		recs[i] = QuantizeRecord(recs[i])
@@ -163,6 +230,10 @@ func (s *Store) log(tag byte, recs []slim.Record) error {
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
+	}
+	if s.degraded.Load() {
+		s.mu.Unlock()
+		return ErrDegraded
 	}
 	payload := appendBatch(nil, Batch{Seq: s.nextSeq, Tag: tag, Recs: recs})
 	wait, err := s.appendLocked(payload, tag, recs)
@@ -186,6 +257,10 @@ func (s *Store) LogEncoded(tag byte, recordBytes []byte, recs []slim.Record) (wa
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.degraded.Load() {
+		s.mu.Unlock()
+		return nil, ErrDegraded
+	}
 	payload := make([]byte, 0, binary.MaxVarintLen64+1+len(recordBytes))
 	payload = binary.AppendUvarint(payload, s.nextSeq)
 	payload = append(payload, tag)
@@ -195,12 +270,15 @@ func (s *Store) LogEncoded(tag byte, recordBytes []byte, recs []slim.Record) (wa
 
 // appendLocked appends one already-sequenced batch payload to the WAL
 // and advances the in-memory state (stream buffers, sequence, counters).
-// Called with mu held; unlocks it on every path.
+// Called with mu held; unlocks it on every path. Any WAL failure — at
+// the append itself or later at the group-commit wait — triggers the
+// degraded-mode transition, and the error the caller sees is marked
+// ErrDegraded so the serving layer can answer 503 + Retry-After.
 func (s *Store) appendLocked(payload []byte, tag byte, recs []slim.Record) (wait func() error, err error) {
 	wait, err = s.wal.Append(payload)
 	if err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return nil, s.failWrite(err)
 	}
 	s.nextSeq++
 	if tag == TagE {
@@ -214,7 +292,183 @@ func (s *Store) appendLocked(payload []byte, tag byte, recs []slim.Record) (wait
 	s.batchesLogged.Add(1)
 	s.recordsLogged.Add(uint64(len(recs)))
 	s.walBytes.Add(int64(len(payload)) + frameHeaderLen)
-	return wait, nil
+	walWait := wait
+	return func() error {
+		if err := walWait(); err != nil {
+			return s.failWrite(err)
+		}
+		return nil
+	}, nil
+}
+
+// failWrite reacts to a WAL write-path error: it starts the degraded
+// episode (idempotent) and tags the returned error with ErrDegraded so
+// errors.Is(err, ErrDegraded) holds for the caller. A plain ErrClosed
+// (clean shutdown) passes through untouched.
+func (s *Store) failWrite(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	s.degrade(cause)
+	if s.degraded.Load() {
+		return fmt.Errorf("%w: %v", ErrDegraded, cause)
+	}
+	return cause
+}
+
+// degrade flips the store into degraded read-only mode and starts the
+// supervised reopen loop. Idempotent; a clean-shutdown ErrClosed never
+// degrades.
+func (s *Store) degrade(cause error) {
+	if cause == nil || errors.Is(cause, ErrClosed) {
+		return
+	}
+	if !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	s.health.Degrade(cause.Error())
+	if s.opts.Logger != nil {
+		s.opts.Logger.Error("storage degraded: WAL write path failed; quarantining segment and reopening",
+			"component", "storage", "error", cause)
+	}
+	go s.reopenLoop()
+}
+
+// reopenLoop is the degraded-mode supervisor: it seals the poisoned
+// WAL, captures its quarantine state once, and retries tryReopen with
+// capped exponential backoff until the store is healthy again (or
+// closed). The quarantine state is immutable after the sticky ioErr, so
+// capturing it once is safe across retries.
+func (s *Store) reopenLoop() {
+	s.mu.Lock()
+	old := s.wal
+	s.mu.Unlock()
+	_ = old.Close()
+	segIdx, synced, quarantined := old.failState()
+
+	backoff := s.opts.reopenBackoff()
+	maxBackoff := s.opts.reopenMaxBackoff()
+	for {
+		select {
+		case <-s.stopReopen:
+			return
+		case <-time.After(backoff):
+		}
+		if s.tryReopen(segIdx, synced, quarantined) {
+			return
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// tryReopen is one degraded-mode repair attempt. Reports true when the
+// loop should stop (healthy again, or the store closed underneath it).
+//
+// The repair protocol:
+//
+//  1. Remove segments above the quarantined one — they can only be
+//     partial fresh segments left by earlier failed attempts, and their
+//     re-logged frames would collide with this attempt's on replay.
+//  2. Truncate the quarantined segment to its last fsync-covered byte:
+//     everything past it is non-durable (the fsyncgate rule — a failed
+//     fsync says nothing about what reached the platter), so replay
+//     must never see those bytes.
+//  3. Open a fresh segment one index up and re-log the quarantined
+//     batches — appends the store acknowledged in memory whose covering
+//     fsync failed — from our own buffers, verbatim with their original
+//     sequence numbers, then wait for their durability.
+//  4. Swap the WAL in, flip healthy, and hand the re-logged batches to
+//     Options.OnRelog so the engine re-buffers what it nacked.
+func (s *Store) tryReopen(segIdx uint64, synced int64, quarantined [][]byte) bool {
+	s.reopenRetries.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+
+	fail := func(step string, err error) bool {
+		if s.opts.Logger != nil {
+			s.opts.Logger.Warn("storage reopen attempt failed",
+				"component", "storage", "step", step, "error", err,
+				"retries", s.reopenRetries.Load())
+		}
+		return false
+	}
+
+	segs, err := listSegments(s.fs, s.dir)
+	if err != nil {
+		return fail("list segments", err)
+	}
+	for _, seg := range segs {
+		if seg.index > segIdx {
+			if err := s.fs.Remove(seg.path); err != nil {
+				return fail("remove partial segment", err)
+			}
+		}
+	}
+	segPath := filepath.Join(s.dir, segName(segIdx))
+	if err := s.fs.Truncate(segPath, synced); err != nil && !os.IsNotExist(err) {
+		return fail("truncate quarantined segment", err)
+	}
+	w, err := openWAL(s.fs, s.dir, segIdx+1, s.opts.SegmentBytes, s.opts.FsyncInterval, s.walm)
+	if err != nil {
+		return fail("open fresh segment", err)
+	}
+	waits := make([]func() error, 0, len(quarantined))
+	for _, payload := range quarantined {
+		wait, err := w.Append(payload)
+		if err != nil {
+			_ = w.Close()
+			return fail("re-log quarantined batch", err)
+		}
+		waits = append(waits, wait)
+	}
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			_ = w.Close()
+			return fail("fsync re-logged batches", err)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = w.Close()
+		return true
+	}
+	s.wal = w
+	s.mu.Unlock()
+	// Order matters: the fresh WAL must be visible before writers stop
+	// seeing ErrDegraded.
+	s.degraded.Store(false)
+	s.health.Recover()
+	if s.opts.Logger != nil {
+		s.opts.Logger.Info("storage recovered: fresh WAL segment open",
+			"component", "storage", "segment", segIdx+1,
+			"relogged_batches", len(quarantined), "retries", s.reopenRetries.Load())
+	}
+	if cb := s.opts.OnRelog; cb != nil {
+		for _, payload := range quarantined {
+			if b, err := decodeBatch(payload); err == nil {
+				cb(b.Tag, b.Recs)
+			}
+		}
+	}
+	return true
+}
+
+// Degraded reports whether the store is in degraded read-only mode.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// Health returns the storage failure domain's state plus the active
+// episode's cause and start time (zero values when healthy).
+func (s *Store) Health() (state obs.HealthState, cause string, since time.Time) {
+	return s.health.State()
 }
 
 // AfterRun captures the published result and auto-checkpoints when the
@@ -237,6 +491,11 @@ func (s *Store) AfterRun(res slim.Result, version uint64) {
 		need = true
 	}
 	s.mu.Unlock()
+	if s.degraded.Load() {
+		// The WAL is down; a checkpoint would only fail. The trigger
+		// amounts stay armed, so the next relink after recovery retries.
+		return
+	}
 	if !need {
 		return
 	}
@@ -277,6 +536,10 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 		s.mu.Unlock()
 		return CheckpointInfo{}, ErrClosed
 	}
+	if s.degraded.Load() {
+		s.mu.Unlock()
+		return CheckpointInfo{}, ErrDegraded
+	}
 	d := &snapshotData{
 		lastSeq: s.nextSeq - 1,
 		seedE:   s.seedE,
@@ -291,12 +554,12 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	keepIdx, err := s.wal.Rotate()
 	if err != nil {
 		s.mu.Unlock()
-		return CheckpointInfo{}, err
+		return CheckpointInfo{}, s.failWrite(err)
 	}
 	coveredRuns, coveredBytes := s.runsSinceSnap, s.bytesSinceSnap
 	s.mu.Unlock()
 
-	path, err := writeSnapshot(s.dir, d)
+	path, err := writeSnapshot(s.fs, s.dir, d)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -310,10 +573,10 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	s.bytesSinceSnap -= coveredBytes
 	s.mu.Unlock()
 	// Truncate history only after the covering snapshot is durable.
-	if err := removeSnapshotsBefore(s.dir, d.lastSeq); err != nil {
+	if err := removeSnapshotsBefore(s.fs, s.dir, d.lastSeq); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if err := removeSegmentsBefore(s.dir, keepIdx); err != nil {
+	if err := removeSegmentsBefore(s.fs, s.dir, keepIdx); err != nil {
 		return CheckpointInfo{}, err
 	}
 	s.snapshots.Add(1)
@@ -321,7 +584,7 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	s.lastSnapUnixMs.Store(time.Now().UnixMilli())
 	if s.snapshotSeconds != nil {
 		s.snapshotSeconds.ObserveSince(start)
-		if fi, err := os.Stat(path); err == nil {
+		if fi, err := s.fs.Stat(path); err == nil {
 			s.snapshotBytes.Set(float64(fi.Size()))
 		}
 	}
@@ -353,6 +616,14 @@ type Stats struct {
 	LastSnapshotUnixMs int64
 	// NextSeq is the sequence number the next logged batch will carry.
 	NextSeq uint64
+	// Health is the storage failure domain's state ("healthy" or
+	// "degraded"); DegradedSinceUnixMs and DegradedCause describe the
+	// active episode (zero/empty when healthy). ReopenRetries counts
+	// degraded-mode WAL reopen attempts since this process started.
+	Health              string
+	DegradedCause       string
+	DegradedSinceUnixMs int64
+	ReopenRetries       uint64
 }
 
 // Stats reports storage counters plus a directory scan of live segments.
@@ -366,14 +637,21 @@ func (s *Store) Stats() Stats {
 		Snapshots:          s.snapshots.Load(),
 		LastSnapshotSeq:    s.lastSnapSeq.Load(),
 		LastSnapshotUnixMs: s.lastSnapUnixMs.Load(),
+		ReopenRetries:      s.reopenRetries.Load(),
+	}
+	state, cause, since := s.health.State()
+	st.Health = state.String()
+	st.DegradedCause = cause
+	if !since.IsZero() {
+		st.DegradedSinceUnixMs = since.UnixMilli()
 	}
 	s.mu.Lock()
 	st.NextSeq = s.nextSeq
 	s.mu.Unlock()
-	if segs, err := listSegments(s.dir); err == nil {
+	if segs, err := listSegments(s.fs, s.dir); err == nil {
 		st.WALSegments = len(segs)
 		for _, seg := range segs {
-			if fi, err := os.Stat(seg.path); err == nil {
+			if fi, err := s.fs.Stat(seg.path); err == nil {
 				st.WALDiskBytes += fi.Size()
 			}
 		}
@@ -382,7 +660,9 @@ func (s *Store) Stats() Stats {
 }
 
 // Close takes a final checkpoint (so a clean restart replays nothing)
-// and seals the WAL. Idempotent.
+// and seals the WAL. A store closed while degraded returns ErrDegraded:
+// the final checkpoint could not be taken, so the next boot replays the
+// WAL (including any re-logged quarantine). Idempotent.
 func (s *Store) Close() error {
 	_, cpErr := s.Checkpoint()
 	if errors.Is(cpErr, ErrClosed) {
@@ -394,8 +674,10 @@ func (s *Store) Close() error {
 		return cpErr
 	}
 	s.closed = true
+	w := s.wal
 	s.mu.Unlock()
-	err := s.wal.Close()
+	s.stopOnce.Do(func() { close(s.stopReopen) })
+	err := w.Close()
 	if cpErr != nil {
 		return cpErr
 	}
@@ -409,6 +691,8 @@ func (s *Store) Close() error {
 func (s *Store) crashClose() {
 	s.mu.Lock()
 	s.closed = true
+	w := s.wal
 	s.mu.Unlock()
-	_ = s.wal.Close()
+	s.stopOnce.Do(func() { close(s.stopReopen) })
+	_ = w.Close()
 }

@@ -3,7 +3,6 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -44,6 +43,9 @@ func segName(index uint64) string {
 // above. A wal never reopens old segments: each process generation
 // starts a fresh segment, so a torn tail from a crash is always at the
 // end of a dead segment.
+//
+// All file I/O goes through the FS seam, so tests can fail any write,
+// fsync, rename, or close at any call (see faultfs.go).
 // walMetrics are the log's latency histograms (always non-nil; the
 // store wires them to its registry).
 type walMetrics struct {
@@ -51,7 +53,7 @@ type walMetrics struct {
 	fsyncSeconds  *obs.Histogram // every fsync, whichever path issued it
 }
 
-func (m walMetrics) sync(f *os.File) error {
+func (m walMetrics) sync(f File) error {
 	start := time.Now()
 	err := f.Sync()
 	m.fsyncSeconds.ObserveSince(start)
@@ -59,18 +61,30 @@ func (m walMetrics) sync(f *os.File) error {
 }
 
 type wal struct {
+	fs       FS
 	dir      string
 	segBytes int64
 	interval time.Duration
 	metrics  walMetrics
 
 	mu         sync.Mutex
-	f          *os.File
+	f          File
 	segIndex   uint64
 	segWritten int64
 	ioErr      error         // sticky: first write/sync failure poisons the log
 	gen        chan struct{} // closed when all bytes written so far are durable
 	closed     bool
+
+	// Quarantine bookkeeping for degraded-mode recovery (see
+	// Store.reopenLoop): syncedBytes is how much of the active segment
+	// the last successful fsync covered, and unsynced holds the payloads
+	// of every acknowledged-to-the-store append not yet covered by one.
+	// After a sticky ioErr these freeze: the segment tail past
+	// syncedBytes is non-durable (fsyncgate — a failed fsync says
+	// nothing about what reached disk) and unsynced is exactly what a
+	// fresh segment must re-log.
+	syncedBytes int64
+	unsynced    [][]byte
 
 	wantSync   chan struct{}
 	stop       chan struct{}
@@ -79,7 +93,10 @@ type wal struct {
 
 // openWAL starts a fresh segment with the given index and, for group
 // commit, the background syncer.
-func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration, metrics walMetrics) (*wal, error) {
+func openWAL(fs FS, dir string, segIndex uint64, segBytes int64, interval time.Duration, metrics walMetrics) (*wal, error) {
+	if fs == nil {
+		fs = OSFS
+	}
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
@@ -87,6 +104,7 @@ func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration
 		metrics = newWALMetrics(obs.NewRegistry())
 	}
 	w := &wal{
+		fs:         fs,
 		dir:        dir,
 		segBytes:   segBytes,
 		interval:   interval,
@@ -111,15 +129,16 @@ func openWAL(dir string, segIndex uint64, segBytes int64, interval time.Duration
 // openSegment creates the segment file and syncs the directory entry so
 // the segment itself survives a crash. Callers hold mu (or own w).
 func (w *wal) openSegment(index uint64) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(index)),
-		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segName(index)),
+		createFlags, 0o644)
 	if err != nil {
 		return err
 	}
 	w.f = f
 	w.segIndex = index
 	w.segWritten = 0
-	return syncDir(w.dir)
+	w.syncedBytes = 0
+	return w.fs.SyncDir(w.dir)
 }
 
 // Append writes one framed payload. The returned wait function blocks
@@ -155,13 +174,22 @@ func (w *wal) Append(payload []byte) (wait func() error, err error) {
 
 	if w.interval == 0 { // fsync inline
 		if err := w.metrics.sync(w.f); err != nil {
+			// The frame is written but its fsync failed: the caller will
+			// reject the batch (nothing consumed the sequence number), so
+			// the bytes must NOT be re-logged — quarantine truncation cuts
+			// them off at syncedBytes.
 			w.ioErr = err
 			w.mu.Unlock()
 			return nil, err
 		}
+		w.syncedBytes = w.segWritten
 		w.mu.Unlock()
 		return noWait, nil
 	}
+	// Group-commit and never-fsync policies: the append is acknowledged
+	// to the store (it consumes the sequence and buffers the batch), so
+	// its payload joins the re-log quarantine until an fsync covers it.
+	w.unsynced = append(w.unsynced, payload)
 	if w.interval < 0 { // never fsync
 		w.mu.Unlock()
 		return noWait, nil
@@ -217,12 +245,22 @@ func (w *wal) syncNow() {
 	if w.ioErr == nil && w.f != nil {
 		if err := w.metrics.sync(w.f); err != nil {
 			w.ioErr = err
+		} else {
+			w.markDurableLocked()
 		}
 	}
 	ch := w.gen
 	w.gen = make(chan struct{})
 	w.mu.Unlock()
 	close(ch)
+}
+
+// markDurableLocked retires the quarantine bookkeeping after a
+// successful fsync: everything written so far is durable. Callers hold
+// mu.
+func (w *wal) markDurableLocked() {
+	w.syncedBytes = w.segWritten
+	w.unsynced = nil
 }
 
 // rotateLocked seals the active segment (fsync + close, so rotation is
@@ -232,6 +270,7 @@ func (w *wal) rotateLocked() error {
 		w.ioErr = err
 		return err
 	}
+	w.markDurableLocked()
 	if err := w.f.Close(); err != nil {
 		w.ioErr = err
 		return err
@@ -266,12 +305,13 @@ func (w *wal) Rotate() (newIndex uint64, err error) {
 }
 
 // Close seals the log: stops the syncer, fsyncs and closes the active
-// segment, and releases any waiters.
+// segment, and releases any waiters. Idempotent.
 func (w *wal) Close() error {
 	w.mu.Lock()
 	if w.closed {
+		err := w.ioErr
 		w.mu.Unlock()
-		return nil
+		return err
 	}
 	w.closed = true
 	w.mu.Unlock()
@@ -288,6 +328,8 @@ func (w *wal) Close() error {
 			// must see the failure, not a silent success.
 			if err := w.metrics.sync(w.f); err != nil {
 				w.ioErr = err
+			} else {
+				w.markDurableLocked()
 			}
 		}
 		if cerr := w.f.Close(); cerr != nil && w.ioErr == nil {
@@ -301,6 +343,17 @@ func (w *wal) Close() error {
 	return w.ioErr
 }
 
+// failState snapshots the quarantine bookkeeping of a poisoned log: the
+// segment it died in, how much of it the last successful fsync covered
+// (durable; everything past it is not), and the payloads of every
+// append the store consumed whose durability the failure voided. Call
+// after Close; the state is frozen once ioErr is sticky.
+func (w *wal) failState() (segIndex uint64, syncedBytes int64, unsynced [][]byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segIndex, w.syncedBytes, w.unsynced
+}
+
 // segmentFile is one WAL segment found on disk.
 type segmentFile struct {
 	index uint64
@@ -308,8 +361,8 @@ type segmentFile struct {
 }
 
 // listSegments returns the data directory's WAL segments in index order.
-func listSegments(dir string) ([]segmentFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs FS, dir string) ([]segmentFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +387,7 @@ func listSegments(dir string) ([]segmentFile, error) {
 // cross-package tests that account for exactly which records the log
 // holds (e.g. proving shed ingest was never half-applied).
 func ReplayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64, batches int, err error) {
-	return replayWAL(dir, fromSeq, fn)
+	return replayWAL(OSFS, dir, fromSeq, fn)
 }
 
 // replayWAL scans every segment in order and calls fn for each decoded
@@ -344,15 +397,15 @@ func ReplayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64
 // segment, which a healthy process only starts after a clean rotation.
 // Decoded sequence numbers must be strictly increasing; a violation
 // means real corruption and fails the replay.
-func replayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64, batches int, err error) {
-	segs, err := listSegments(dir)
+func replayWAL(fs FS, dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64, batches int, err error) {
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return 0, 0, err
 	}
 	lastSeq = fromSeq
 	sawAny := false
 	for _, seg := range segs {
-		buf, err := os.ReadFile(seg.path)
+		buf, err := fs.ReadFile(seg.path)
 		if err != nil {
 			return lastSeq, batches, err
 		}
@@ -391,8 +444,8 @@ func replayWAL(dir string, fromSeq uint64, fn func(Batch) error) (lastSeq uint64
 // removeSegmentsBefore deletes every segment with index < keepIndex —
 // the snapshot truncation step, called only after the covering snapshot
 // is durably on disk.
-func removeSegmentsBefore(dir string, keepIndex uint64) error {
-	segs, err := listSegments(dir)
+func removeSegmentsBefore(fs FS, dir string, keepIndex uint64) error {
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return err
 	}
@@ -400,20 +453,9 @@ func removeSegmentsBefore(dir string, keepIndex uint64) error {
 		if seg.index >= keepIndex {
 			break
 		}
-		if err := os.Remove(seg.path); err != nil {
+		if err := fs.Remove(seg.path); err != nil {
 			return err
 		}
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so file creations/renames/removals within
-// it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fs.SyncDir(dir)
 }

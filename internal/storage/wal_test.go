@@ -39,7 +39,7 @@ func appendBatches(t *testing.T, w *wal, batches []Batch) {
 
 func TestWALAppendReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestWALAppendReplay(t *testing.T) {
 	}
 
 	var out []Batch
-	lastSeq, n, err := replayWAL(dir, 0, func(b Batch) error {
+	lastSeq, n, err := replayWAL(OSFS, dir, 0, func(b Batch) error {
 		out = append(out, b)
 		return nil
 	})
@@ -79,7 +79,7 @@ func TestWALAppendReplay(t *testing.T) {
 	}
 
 	// Replay from a snapshot boundary skips covered batches.
-	_, n, err = replayWAL(dir, 15, nil)
+	_, n, err = replayWAL(OSFS, dir, 15, nil)
 	if err != nil || n != 5 {
 		t.Fatalf("tail replay = %d batches, %v; want 5", n, err)
 	}
@@ -87,7 +87,7 @@ func TestWALAppendReplay(t *testing.T) {
 
 func TestWALSegmentRotation(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 256, -1, walMetrics{}) // tiny segments force rotation
+	w, err := openWAL(OSFS, dir, 1, 256, -1, walMetrics{}) // tiny segments force rotation
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +99,14 @@ func TestWALSegmentRotation(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(segs) < 3 {
 		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
 	}
-	_, n, err := replayWAL(dir, 0, nil)
+	_, n, err := replayWAL(OSFS, dir, 0, nil)
 	if err != nil || n != 40 {
 		t.Fatalf("replay across segments = %d, %v; want 40", n, err)
 	}
@@ -114,7 +114,7 @@ func TestWALSegmentRotation(t *testing.T) {
 
 func TestWALRotateAndTruncate(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +127,11 @@ func TestWALRotateAndTruncate(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := removeSegmentsBefore(dir, keep); err != nil {
+	if err := removeSegmentsBefore(OSFS, dir, keep); err != nil {
 		t.Fatal(err)
 	}
 	var seqs []uint64
-	_, _, err = replayWAL(dir, 0, func(b Batch) error {
+	_, _, err = replayWAL(OSFS, dir, 0, func(b Batch) error {
 		seqs = append(seqs, b.Seq)
 		return nil
 	})
@@ -148,7 +148,7 @@ func TestWALRotateAndTruncate(t *testing.T) {
 // order, sharing far fewer fsyncs than appends.
 func TestWALGroupCommit(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, time.Millisecond, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, time.Millisecond, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestWALGroupCommit(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, n, err := replayWAL(dir, 0, nil)
+	_, n, err := replayWAL(OSFS, dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestWALGroupCommit(t *testing.T) {
 
 func TestWALClosedRejectsAppends(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestReplayThroughputFloor(t *testing.T) {
 		t.Skip("throughput measurement; skipped in -short")
 	}
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestReplayThroughputFloor(t *testing.T) {
 	}
 	start := time.Now()
 	total := 0
-	if _, _, err := replayWAL(dir, 0, func(b Batch) error {
+	if _, _, err := replayWAL(OSFS, dir, 0, func(b Batch) error {
 		total += len(b.Recs)
 		return nil
 	}); err != nil {
@@ -261,7 +261,7 @@ func benchPayload(seq uint64, n int) []byte {
 // without fsync, 100-record batches.
 func BenchmarkWALAppend(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func BenchmarkWALAppend(b *testing.B) {
 // under group commit from a single writer.
 func BenchmarkWALAppendGroupCommit(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, 100*time.Microsecond, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, 100*time.Microsecond, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func BenchmarkWALAppendGroupCommit(b *testing.B) {
 // BenchmarkWALReplay measures recovery replay throughput.
 func BenchmarkWALReplay(b *testing.B) {
 	dir := b.TempDir()
-	w, err := openWAL(dir, 1, 0, -1, walMetrics{})
+	w, err := openWAL(OSFS, dir, 1, 0, -1, walMetrics{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func BenchmarkWALReplay(b *testing.B) {
 	total := 0
 	for i := 0; i < b.N; i++ {
 		total = 0
-		if _, _, err := replayWAL(dir, 0, func(bt Batch) error {
+		if _, _, err := replayWAL(OSFS, dir, 0, func(bt Batch) error {
 			total += len(bt.Recs)
 			return nil
 		}); err != nil {

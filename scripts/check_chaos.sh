@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check_chaos.sh — the fault-injection gate CI runs on every change.
+#
+# Runs both chaos suites under the race detector:
+#   * TestServerChaos  — in-process: a fixed-seed randomized fault
+#     schedule (disk errors, write delays, relink panics) against a live
+#     node under concurrent JSON + binary ingest, then an exact WAL
+#     audit: every acked batch durable, every rejected batch absent.
+#   * TestCLISlimdChaos — through the compiled slimd binary via the
+#     -fault flag: the degraded-mode 503 contract, self-healing, a
+#     contained relink panic, and crash recovery to exactly the acked
+#     batches.
+#
+# Both schedules are seed-fixed, so a failure here replays exactly.
+#
+# Usage: scripts/check_chaos.sh  (from the repo root; CI runs it there)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== in-process chaos suite (race detector on)"
+go test -race -count=1 -run 'TestServerChaos' ./internal/server/
+
+echo "== slimd binary chaos suite (race detector on)"
+go test -race -count=1 -run 'TestCLISlimdChaos' ./cmd/
+
+echo "OK: chaos suites passed"

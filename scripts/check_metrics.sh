@@ -15,8 +15,11 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 slimd_pid=""
 cleanup() {
-  [ -n "$slimd_pid" ] && kill "$slimd_pid" 2>/dev/null || true
-  rm -rf "$workdir"
+  if [ -n "$slimd_pid" ]; then
+    kill "$slimd_pid" 2>/dev/null || true
+    wait "$slimd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -24,7 +27,10 @@ echo "== building slimd"
 go build -o "$workdir/slimd" ./cmd/slimd
 
 echo "== booting slimd"
+# -data-dir: the storage families (health, reopen retries) only register
+# when a store is attached.
 "$workdir/slimd" -addr 127.0.0.1:0 -shards 2 -debounce 50ms \
+  -data-dir "$workdir/data" \
   >"$workdir/slimd.log" 2>&1 &
 slimd_pid=$!
 
@@ -82,6 +88,10 @@ slim_ingest_shed_requests_total
 slim_http_request_seconds
 slim_http_requests_total
 slim_pending_records
+slim_health_state
+slim_storage_reopen_retries_total
+slim_relink_panics_total
+slim_relink_stuck_seconds
 '
 missing=0
 for name in $required; do
