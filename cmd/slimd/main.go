@@ -57,13 +57,14 @@ func fatal(logger *slog.Logger, msg string, args ...any) {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof, expvar, and /metrics (e.g. localhost:6060)")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		shards    = flag.Int("shards", 4, "number of linker shards")
-		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
-		ePath     = flag.String("e", "", "optional seed CSV for the first dataset")
-		iPath     = flag.String("i", "", "optional seed CSV for the second dataset")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof, expvar, and /metrics (e.g. localhost:6060)")
+		logFormat  = flag.String("log-format", "text", "log output format: text | json")
+		shards     = flag.Int("shards", 4, "number of linker shards")
+		debounce   = flag.Duration("debounce", 2*time.Second, "quiet period after ingest before a background relink")
+		runJournal = flag.Int("run-journal", engine.DefaultRunJournal, "relink flight-recorder size: how many recent runs GET /v1/runs retains")
+		ePath      = flag.String("e", "", "optional seed CSV for the first dataset")
+		iPath      = flag.String("i", "", "optional seed CSV for the second dataset")
 
 		queueDepth = flag.Int("ingest-queue-depth", ingest.DefaultQueueDepth, "shed ingest once this many records are queued (inflight + pending relink)")
 		shedAfter  = flag.Duration("ingest-shed-after", ingest.DefaultShedAfter, "shed ingest once the oldest queued record has waited this long (<0 = never)")
@@ -107,6 +108,7 @@ func main() {
 	// and HTTP server all record into it, and both the serving address
 	// (GET /metrics) and the debug address expose it.
 	registry := obs.NewRegistry()
+	obs.RegisterRuntime(registry)
 
 	cfg := slim.Config{
 		WindowMinutes:    *window,
@@ -154,12 +156,13 @@ func main() {
 	}
 
 	engCfg := engine.Config{
-		Shards:   *shards,
-		Link:     cfg,
-		Debounce: *debounce,
-		Registry: registry,
-		Fault:    inj,
-		Logger:   logger,
+		Shards:     *shards,
+		Link:       cfg,
+		Debounce:   *debounce,
+		Registry:   registry,
+		RunJournal: *runJournal,
+		Fault:      inj,
+		Logger:     logger,
 	}
 	var eng *engine.Engine
 	var store *storage.Store
@@ -315,8 +318,11 @@ func main() {
 		}
 		// The Prometheus exposition rides the debug mux too, so operators
 		// scraping only the debug port see the same registry as /metrics on
-		// the serving address.
+		// the serving address — and so do the provenance endpoints, so a
+		// link can be explained without touching the serving port.
 		http.DefaultServeMux.Handle("GET /metrics", registry.Handler())
+		http.DefaultServeMux.Handle("GET /v1/explain", srv.ExplainHandler())
+		http.DefaultServeMux.Handle("GET /v1/runs", srv.RunsHandler())
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fatal(logger, "debug listen failed", "addr", *debugAddr, "error", err)

@@ -32,6 +32,58 @@ type EdgeStoreStats struct {
 	// LastUpdate is the wall-clock duration of the last update (scoring,
 	// store maintenance and edge materialization; excludes matching).
 	LastUpdate time.Duration
+	// ResidentBytes estimates the store's resident memory: per retained
+	// pair, a fixed map/cache overhead plus the entity id bytes. It is an
+	// estimate (Go map internals are not directly measurable), maintained
+	// incrementally so reading it costs nothing.
+	ResidentBytes int64
+}
+
+// EdgeLineage is the provenance of one pair in the edge store: whether it
+// is currently a retained edge, its score, and which runs produced it.
+// Run sequence numbers are the ones stamped by RunEdges — inside a
+// partitioned engine they are the engine's published result versions, so
+// a lineage seq can be joined against the engine's run journal.
+type EdgeLineage struct {
+	// Linked reports whether the pair is currently a retained (positive
+	// scored) edge; the remaining fields are zero when it is not.
+	Linked bool
+	// Score is the retained score.
+	Score float64
+	// RescoredSeq is the run that last actually scored this pair (every
+	// later run retained the cached value).
+	RescoredSeq uint64
+	// RetainedSinceSeq is the run the pair first entered the store in its
+	// current tenure (dropping and re-adding a pair restarts it).
+	RetainedSinceSeq uint64
+	// LastFullSeq / ScoreAtLastFull are the most recent full (epoch)
+	// rescore that scored this pair and the score it produced then — the
+	// anchor for "has this edge drifted since the last global rescore".
+	// Both are zero for pairs added after the last full rescore.
+	LastFullSeq     uint64
+	ScoreAtLastFull float64
+	// StoreEpoch counts the store's full rescores (see EdgeStoreStats).
+	StoreEpoch uint64
+}
+
+// edgeMeta is the per-pair provenance behind EdgeLineage, stamped by
+// resetFull/apply as scores are installed.
+type edgeMeta struct {
+	rescoredSeq uint64
+	sinceSeq    uint64
+	fullSeq     uint64
+	fullScore   float64
+}
+
+// edgePairOverheadBytes is the estimated fixed per-pair cost of one
+// retained edge: the scores map entry (two string headers + float64),
+// the meta map entry, a links-cache slot, and amortized map bucket
+// overhead. Entity id bytes are counted separately (once — the map keys
+// and cache entries share the same string backing).
+const edgePairOverheadBytes = 176
+
+func pairBytes(p lsh.Pair) int64 {
+	return edgePairOverheadBytes + int64(len(p.U)) + int64(len(p.V))
 }
 
 // edgeStore is the maintained pair→score state behind Linker.RunEdges.
@@ -57,8 +109,15 @@ type edgeStore struct {
 	// were computed under; any movement invalidates them all.
 	epochE, epochI uint64
 
-	// scores holds every candidate pair with a positive score.
+	// scores holds every candidate pair with a positive score; meta holds
+	// the matching per-pair provenance (same key set as scores), and bytes
+	// is the incrementally maintained resident-size estimate.
 	scores map[lsh.Pair]float64
+	meta   map[lsh.Pair]edgeMeta
+	bytes  int64
+	// seq is the run sequence of the last update (see Linker.RunEdges for
+	// how it is assigned).
+	seq uint64
 	// links caches the sorted materialization of scores; linksStale marks
 	// it outdated.
 	links      []Link
@@ -81,6 +140,7 @@ type edgeStore struct {
 func newEdgeStore() edgeStore {
 	return edgeStore{
 		scores:      make(map[lsh.Pair]float64),
+		meta:        make(map[lsh.Pair]edgeMeta),
 		pendRescore: make(map[lsh.Pair]struct{}),
 		pendRemoved: make(map[lsh.Pair]struct{}),
 	}
@@ -109,12 +169,25 @@ func (es *edgeStore) mergeDelta(d candidates.Delta) {
 }
 
 // resetFull replaces the whole store with a freshly scored edge set (the
-// full-rescore path). edges must be sorted in canonical (U, V) order; the
-// links cache adopts it directly.
-func (es *edgeStore) resetFull(edges []Link) {
+// full-rescore path), stamped with the given run seq. edges must be
+// sorted in canonical (U, V) order; the links cache adopts it directly.
+// Pairs that were already retained keep their RetainedSinceSeq tenure;
+// everything is (by definition) rescored, so every pair's rescored-seq,
+// last-full-seq and score-at-last-full move to this run.
+func (es *edgeStore) resetFull(edges []Link, seq uint64) {
 	clear(es.scores)
+	old := es.meta
+	es.meta = make(map[lsh.Pair]edgeMeta, len(edges))
+	es.bytes = 0
 	for _, e := range edges {
-		es.scores[lsh.Pair{U: e.U, V: e.V}] = e.Score
+		p := lsh.Pair{U: e.U, V: e.V}
+		es.scores[p] = e.Score
+		m := edgeMeta{rescoredSeq: seq, sinceSeq: seq, fullSeq: seq, fullScore: e.Score}
+		if prev, ok := old[p]; ok {
+			m.sinceSeq = prev.sinceSeq
+		}
+		es.meta[p] = m
+		es.bytes += pairBytes(p)
 	}
 	es.links = edges
 	es.linksStale = false
@@ -123,15 +196,19 @@ func (es *edgeStore) resetFull(edges []Link) {
 	clear(es.pendRemoved)
 	es.fullRescores++
 	es.lastFull = true
+	es.seq = seq
 }
 
-// apply performs one delta update: drop the pending removals, then install
-// the fresh scores of the rescored pairs (deleting pairs that scored
-// non-positive). It returns how many edges were dropped from the store.
-func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64) (dropped int64) {
+// apply performs one delta update stamped with the given run seq: drop
+// the pending removals, then install the fresh scores of the rescored
+// pairs (deleting pairs that scored non-positive). It returns how many
+// edges were dropped from the store.
+func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64, seq uint64) (dropped int64) {
 	for p := range es.pendRemoved {
 		if _, ok := es.scores[p]; ok {
 			delete(es.scores, p)
+			delete(es.meta, p)
+			es.bytes -= pairBytes(p)
 			es.linksStale = true
 			dropped++
 		}
@@ -144,8 +221,17 @@ func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64) (dropped int64) {
 				es.scores[p] = s
 				es.linksStale = true
 			}
+			m, hadMeta := es.meta[p]
+			if !hadMeta {
+				m.sinceSeq = seq
+				es.bytes += pairBytes(p)
+			}
+			m.rescoredSeq = seq
+			es.meta[p] = m
 		} else if had {
 			delete(es.scores, p)
+			delete(es.meta, p)
+			es.bytes -= pairBytes(p)
 			es.linksStale = true
 			dropped++
 		}
@@ -153,7 +239,27 @@ func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64) (dropped int64) {
 	clear(es.pendRescore)
 	clear(es.pendRemoved)
 	es.lastFull = false
+	es.seq = seq
 	return dropped
+}
+
+// lineage returns the provenance of one pair (zero-valued, Linked=false,
+// when the pair is not a retained edge).
+func (es *edgeStore) lineage(p lsh.Pair) EdgeLineage {
+	s, ok := es.scores[p]
+	if !ok {
+		return EdgeLineage{StoreEpoch: es.fullRescores}
+	}
+	m := es.meta[p]
+	return EdgeLineage{
+		Linked:           true,
+		Score:            s,
+		RescoredSeq:      m.rescoredSeq,
+		RetainedSinceSeq: m.sinceSeq,
+		LastFullSeq:      m.fullSeq,
+		ScoreAtLastFull:  m.fullScore,
+		StoreEpoch:       es.fullRescores,
+	}
 }
 
 // materialize returns the retained edges sorted by (U, V) — the exact
@@ -194,12 +300,13 @@ func (es *edgeStore) materialize() []Link {
 // across later runs).
 func (es *edgeStore) statsSnapshot() *EdgeStoreStats {
 	return &EdgeStoreStats{
-		Pairs:       int64(len(es.scores)),
-		Epoch:       es.fullRescores,
-		Retained:    es.lastRetained,
-		Rescored:    es.lastRescored,
-		Dropped:     es.lastDropped,
-		FullRescore: es.lastFull,
-		LastUpdate:  es.lastUpdate,
+		Pairs:         int64(len(es.scores)),
+		Epoch:         es.fullRescores,
+		Retained:      es.lastRetained,
+		Rescored:      es.lastRescored,
+		Dropped:       es.lastDropped,
+		FullRescore:   es.lastFull,
+		LastUpdate:    es.lastUpdate,
+		ResidentBytes: es.bytes,
 	}
 }

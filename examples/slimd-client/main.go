@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 
@@ -90,9 +91,75 @@ func main() {
 	fmt.Printf("relinked after re-observing %d records in %.1fms\n", len(burst), run.ElapsedMs)
 	printIncrementalStats(*addr, "after incremental burst")
 
+	// Every published link is fully explainable: GET /v1/explain joins the
+	// score decomposition, the LSH candidate lineage, the retained-edge
+	// lineage, and the flight-recorder entry of the run that produced it.
+	if len(page.Links) > 0 {
+		printExplain(*addr, page.Links[0].U, page.Links[0].V)
+	}
+
 	// The same numbers (and ~25 more families) are exported in Prometheus
 	// text form for scraping; show the freshness and stage-timing excerpt.
 	printMetricsExcerpt(*addr)
+}
+
+// printExplain fetches the provenance document for one pair and prints
+// a digest: top contributing windows, candidate band collisions, edge
+// lineage run stamps, and the producing run's decision and stage times.
+func printExplain(addr, u, v string) {
+	var ex struct {
+		Version uint64 `json:"version"`
+		Score   struct {
+			Total   float64 `json:"total"`
+			Norm    float64 `json:"norm"`
+			Windows []struct {
+				Window int64   `json:"window"`
+				Sum    float64 `json:"sum"`
+				Pairs  []struct {
+					Contribution float64 `json:"contribution"`
+				} `json:"pairs"`
+			} `json:"windows"`
+		} `json:"score"`
+		Candidates *struct {
+			BandCount  int32 `json:"band_count"`
+			Collisions []struct {
+				Band int `json:"band"`
+			} `json:"collisions"`
+		} `json:"candidates"`
+		Edge struct {
+			Score            float64 `json:"score"`
+			RescoredSeq      uint64  `json:"rescored_seq"`
+			RetainedSinceSeq uint64  `json:"retained_since_seq"`
+		} `json:"edge"`
+		Run *struct {
+			Trigger      string  `json:"trigger"`
+			ShortCircuit bool    `json:"short_circuit"`
+			FullRescore  bool    `json:"full_rescore"`
+			DurationMs   float64 `json:"duration_ms"`
+			Rescored     int64   `json:"rescored"`
+			Retained     int64   `json:"retained"`
+		} `json:"run"`
+	}
+	get(fmt.Sprintf("%s/v1/explain?e=%s&i=%s", addr, url.QueryEscape(u), url.QueryEscape(v)))(&ex)
+	fmt.Printf("explaining link %s <-> %s (GET /v1/explain):\n", u, v)
+	fmt.Printf("  score %.4f over %d common windows (norm %.4g)\n",
+		ex.Score.Total, len(ex.Score.Windows), ex.Score.Norm)
+	for i, wnd := range ex.Score.Windows {
+		if i == 3 {
+			fmt.Printf("    ... and %d more windows\n", len(ex.Score.Windows)-3)
+			break
+		}
+		fmt.Printf("    window %d: %d cell pairs contribute %.4g\n", wnd.Window, len(wnd.Pairs), wnd.Sum)
+	}
+	if c := ex.Candidates; c != nil {
+		fmt.Printf("  candidates: surfaced by %d LSH band collisions\n", c.BandCount)
+	}
+	fmt.Printf("  edge: score %.4f last rescored by run %d, retained since run %d\n",
+		ex.Edge.Score, ex.Edge.RescoredSeq, ex.Edge.RetainedSinceSeq)
+	if r := ex.Run; r != nil {
+		fmt.Printf("  producing run: trigger=%s full=%v short_circuit=%v rescored=%d retained=%d in %.1fms\n",
+			r.Trigger, r.FullRescore, r.ShortCircuit, r.Rescored, r.Retained, r.DurationMs)
+	}
 }
 
 // printMetricsExcerpt scrapes GET /metrics and prints the observability

@@ -1,0 +1,80 @@
+package candidates
+
+import "slim/internal/lsh"
+
+// BandCollision names one band in which a pair's two entities currently
+// hash into the same bucket, with the bucket's occupancy on both sides —
+// the "why is this pair a candidate" evidence (a collision in a crowded
+// bucket is weaker evidence of similarity than one in a tight bucket).
+type BandCollision struct {
+	// Band is the band index in [0, Bands).
+	Band int
+	// Hash is the shared bucket hash within the band.
+	Hash uint64
+	// BucketE / BucketI are the bucket's current member counts per side
+	// (both include the pair's own endpoints).
+	BucketE, BucketI int
+}
+
+// PairExplain is the lineage of one pair through the incremental LSH
+// filter: whether each endpoint has a maintained signature, whether the
+// pair is currently a candidate, which bands collide (with bucket sizes),
+// and the index geometry/epoch the answer is valid under. It is a pure
+// read over the maintained band-bucket maps — Explain adds no state to
+// the index and costs O(Bands).
+type PairExplain struct {
+	// HasU / HasV report whether the index maintains a signature for each
+	// endpoint (false for unknown or never-signed entities).
+	HasU, HasV bool
+	// Candidate reports whether the pair is currently in the candidate
+	// set; BandCount is its current band-collision count (the index
+	// invariant: Candidate == BandCount > 0 == len(Collisions) > 0).
+	Candidate bool
+	BandCount int32
+	// Collisions lists the currently colliding bands in band order.
+	Collisions []BandCollision
+	// Epoch / SignatureLen / Bands / Rows describe the index grid the
+	// lineage was read under (see Stats).
+	Epoch        uint64
+	SignatureLen int
+	Bands        int
+	Rows         int
+	// SigVersionU / SigVersionV are the history versions the endpoints'
+	// signatures were computed from (0 when the endpoint has none).
+	SigVersionU, SigVersionV uint64
+}
+
+// Explain reports the candidate lineage of one pair. Like every other
+// index read it is not safe concurrently with Update; callers serialize
+// it with linker mutations.
+func (x *Index) Explain(p lsh.Pair) PairExplain {
+	ex := PairExplain{
+		Epoch:        x.epoch,
+		SignatureLen: x.banding.SigLen,
+		Bands:        x.banding.Bands,
+		Rows:         x.banding.Rows,
+		BandCount:    x.paircount[p],
+	}
+	ex.Candidate = ex.BandCount > 0
+	eu, ev := x.sigE[p.U], x.sigI[p.V]
+	if eu != nil {
+		ex.HasU, ex.SigVersionU = true, eu.version
+	}
+	if ev != nil {
+		ex.HasV, ex.SigVersionV = true, ev.version
+	}
+	if eu == nil || ev == nil {
+		return ex
+	}
+	for band := 0; band < x.banding.Bands && band < len(eu.hasBand) && band < len(ev.hasBand); band++ {
+		if !eu.hasBand[band] || !ev.hasBand[band] || eu.bandHash[band] != ev.bandHash[band] {
+			continue
+		}
+		bc := BandCollision{Band: band, Hash: eu.bandHash[band]}
+		if bkt := x.buckets[band][bc.Hash]; bkt != nil {
+			bc.BucketE, bc.BucketI = len(bkt.e), len(bkt.i)
+		}
+		ex.Collisions = append(ex.Collisions, bc)
+	}
+	return ex
+}

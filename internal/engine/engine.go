@@ -50,6 +50,10 @@ const DefaultDebounce = 250 * time.Millisecond
 // slim_relink_stuck_seconds gauge and flips /healthz's relink domain.
 const DefaultRunDeadline = 2 * time.Minute
 
+// DefaultRunJournal is the flight-recorder ring size used when
+// Config.RunJournal is zero.
+const DefaultRunJournal = 256
+
 // Fault-injection site names of the relink path (Config.Fault). Any
 // injected signal at these sites panics the goroutine that hit it —
 // they exist to prove the containment below, not to model I/O errors.
@@ -86,6 +90,11 @@ type Config struct {
 	// reported by the slim_relink_stuck_seconds gauge (0 =
 	// DefaultRunDeadline, <0 = watchdog disabled).
 	RunDeadline time.Duration
+	// RunJournal is the flight-recorder ring size: how many of the most
+	// recent relink runs (including short circuits and contained panics)
+	// the engine keeps for /v1/runs and explain joins (0 =
+	// DefaultRunJournal).
+	RunJournal int
 	// Fault, when set, arms the engine's panic-injection sites (Fault*
 	// constants) — the chaos tests' handle into the relink path.
 	Fault *fault.Injector
@@ -184,10 +193,11 @@ func (sh *shard) syncCounts() {
 }
 
 // rescore re-runs the shard's scoring under the given global E entity
-// count (see Linker.SetTotalEntitiesE) and caches the edges. Callers must
-// hold runMu.
-func (sh *shard) rescore(totalE int) {
+// count (see Linker.SetTotalEntitiesE) and caches the edges, stamping
+// edge lineage with the given run seq. Callers must hold runMu.
+func (sh *shard) rescore(totalE int, seq uint64) {
 	sh.lk.SetTotalEntitiesE(totalE)
+	sh.lk.SetNextRunSeq(seq)
 	sh.edges, sh.stats = sh.lk.RunEdges()
 	sh.idx.Store(sh.lk.CandidateIndexStats())
 	sh.edge.Store(sh.stats.EdgeStore)
@@ -258,6 +268,12 @@ type Engine struct {
 	loopRestarts atomic.Uint64
 	runStartNano atomic.Int64
 	health       *obs.Health
+
+	// runSeq numbers every run attempt (including short circuits and
+	// contained panics) — the flight recorder's Seq; journal is the
+	// bounded ring of recent RunRecords behind /v1/runs and Explain.
+	runSeq  atomic.Uint64
+	journal *journal
 
 	metrics *engMetrics
 
@@ -384,6 +400,34 @@ func newEngMetrics(reg *obs.Registry, e *Engine) *engMetrics {
 			defer e.mu.Unlock()
 			return float64(e.version)
 		})
+	// Edge-store memory visibility: materialize's output is the only place
+	// links exist between runs, so its size must be observable before any
+	// tiering/retention lands. Both read the lock-free shard mirrors.
+	reg.GaugeFunc("slim_edge_store_pairs",
+		"Retained scored edges across all shard edge stores.",
+		func() float64 {
+			var n int64
+			for _, sh := range e.shards {
+				if es := sh.edge.Load(); es != nil {
+					n += es.Pairs
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("slim_edge_store_resident_bytes",
+		"Estimated resident bytes of all shard edge stores (scores, lineage and link caches).",
+		func() float64 {
+			var n int64
+			for _, sh := range e.shards {
+				if es := sh.edge.Load(); es != nil {
+					n += es.ResidentBytes
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("slim_run_journal_records",
+		"Relink runs currently retained in the flight-recorder ring.",
+		func() float64 { return float64(e.journal.size()) })
 	return m
 }
 
@@ -424,13 +468,14 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:    cfg,
-		level:  level,
-		epoch:  p.EpochUnix,
-		shards: make([]*shard, cfg.Shards),
-		kick:   make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		level:   level,
+		epoch:   p.EpochUnix,
+		shards:  make([]*shard, cfg.Shards),
+		journal: newJournal(cfg.RunJournal),
+		kick:    make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	opt := slim.ShardOptions{EpochUnix: p.EpochUnix, SpatialLevel: level}
 	errs := make([]error, cfg.Shards)
@@ -622,7 +667,11 @@ func (e *Engine) OldestPending() (oldest time.Time, ok bool) {
 // notified, freshness watermark not advanced), every shard is marked
 // for an unconditional rescore, slim_relink_panics_total increments,
 // and the relink health domain degrades until the next successful run.
-func (e *Engine) Run() slim.Result {
+func (e *Engine) Run() slim.Result { return e.run("manual") }
+
+// run is the shared body of manual and background relinks; trigger is
+// recorded verbatim in the flight-recorder entry this run appends.
+func (e *Engine) run(trigger string) slim.Result {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	// Arm the watchdog: slim_relink_stuck_seconds reads this while the
@@ -630,11 +679,29 @@ func (e *Engine) Run() slim.Result {
 	e.runStartNano.Store(time.Now().UnixNano())
 	defer e.runStartNano.Store(0)
 
-	res, err := e.runContained()
+	rec := RunRecord{
+		Seq:     e.runSeq.Add(1),
+		Trigger: trigger,
+		Start:   time.Now(),
+	}
+	// Every attempt lands in the journal — successes, short circuits and
+	// contained panics alike — so the ring replays the engine's recent
+	// decision history without gaps.
+	defer func() {
+		rec.Duration = time.Since(rec.Start)
+		e.mu.Lock()
+		rec.Version = e.version
+		e.mu.Unlock()
+		e.journal.add(rec)
+	}()
+
+	res, err := e.runContained(&rec)
 	if err == nil {
 		e.health.Recover()
 		return res
 	}
+	rec.Panicked = true
+	rec.PanicMsg = err.Error()
 	e.relinkPanics.Add(1)
 	e.health.Degrade(err.Error())
 	if e.cfg.Logger != nil {
@@ -723,8 +790,10 @@ func (u *shardUnlocker) release() {
 }
 
 // runContained is the relink body; a panic on any participating
-// goroutine surfaces as err (never as a crash).
-func (e *Engine) runContained() (res slim.Result, err error) {
+// goroutine surfaces as err (never as a crash). It fills rec — the
+// run's flight-recorder entry — as it goes; the caller stamps the final
+// version/duration and journals it on every exit path.
+func (e *Engine) runContained(rec *RunRecord) (res slim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("relink: panic: %v\n%s", r, debug.Stack())
@@ -763,6 +832,12 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 		}
 	}
 	e.metrics.stageApply.ObserveSince(start)
+	rec.ApplyDur = time.Since(start)
+	for _, d := range dirty {
+		if d {
+			rec.DirtyShards++
+		}
+	}
 
 	// Fully-clean short-circuit: when no shard has work and a result is
 	// already published, re-matching and re-thresholding the identical
@@ -784,6 +859,8 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 			// work next to runs_short_circuited.
 			e.zeroWorkMirrors(nil)
 			locks.release()
+			rec.ShortCircuit = true
+			rec.Links = int64(len(cur.Links))
 			e.lastDirtyShards.Store(0)
 			e.runs.Add(1)
 			e.shortCircuits.Add(1)
@@ -808,6 +885,14 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 	for _, sh := range e.shards {
 		totalE += len(sh.lk.EntitiesE())
 	}
+	// Edge lineage is stamped with the version this run will publish on
+	// success (version+1), so a pair's RescoredSeq joins directly against
+	// /v1/stats versions and the run journal. A panicked run leaves some
+	// lineage stamped one version ahead, but forceDirty guarantees the
+	// next successful run re-stamps everything it touched.
+	e.mu.Lock()
+	lineageSeq := e.version + 1
+	e.mu.Unlock()
 	rescoreStart := time.Now()
 	nDirty := 0
 	for s, sh := range e.shards {
@@ -820,7 +905,7 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 			defer wg.Done()
 			panics[s] = guarded("rescore shard", func() {
 				e.hitFault(FaultRescore)
-				sh.rescore(totalE)
+				sh.rescore(totalE, lineageSeq)
 			})
 		}(s, sh)
 	}
@@ -831,6 +916,7 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 		}
 	}
 	e.metrics.stageRescore.ObserveSince(rescoreStart)
+	rec.RescoreDur = time.Since(rescoreStart)
 	// The incremental candidate-index update runs inside rescore; its cost
 	// is reported separately as the sum of the dirty shards' index update
 	// times (serial work, a subset of the parallel rescore wall time).
@@ -843,6 +929,7 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 		}
 	}
 	e.metrics.stageIndex.Observe(idxTime.Seconds())
+	rec.IndexDur = idxTime
 	e.lastDirtyShards.Store(int64(nDirty))
 	// Clean shards performed no index or edge-store update this run: zero
 	// the last-* fields of their mirrors so the aggregated CandidateIndex
@@ -860,6 +947,10 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 		e.edgeRescored.Add(uint64(es.Rescored))
 		e.edgeRetained.Add(uint64(es.Retained))
 		e.edgeDropped.Add(uint64(es.Dropped))
+		rec.Rescored += es.Rescored
+		rec.Retained += es.Retained
+		rec.Dropped += es.Dropped
+		rec.FullRescore = rec.FullRescore || es.FullRescore
 	}
 
 	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
@@ -899,6 +990,7 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 			// this run actually re-scored, mirroring the comparison counters.
 			stats.EdgeStore.Pairs += sh.stats.EdgeStore.Pairs
 			stats.EdgeStore.Epoch += sh.stats.EdgeStore.Epoch
+			stats.EdgeStore.ResidentBytes += sh.stats.EdgeStore.ResidentBytes
 			if dirty[s] {
 				stats.EdgeStore.Retained += sh.stats.EdgeStore.Retained
 				stats.EdgeStore.Rescored += sh.stats.EdgeStore.Rescored
@@ -910,14 +1002,18 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 	}
 	locks.release()
 	e.metrics.stageMerge.ObserveSince(mergeStart)
+	rec.MergeDur = time.Since(mergeStart)
+	rec.CandidatePairs = stats.CandidatePairs
 
 	e.hitFault(FaultRelink)
 	matchStart := time.Now()
 	matched := slim.MatchLinks(e.cfg.Link.Matcher, all)
 	e.metrics.stageMatch.ObserveSince(matchStart)
+	rec.MatchDur = time.Since(matchStart)
 	thrStart := time.Now()
 	thr := slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
 	e.metrics.stageThreshold.ObserveSince(thrStart)
+	rec.ThresholdDur = time.Since(thrStart)
 	res = slim.Result{
 		Links:           slim.FilterLinks(matched, thr.Threshold),
 		Matched:         matched,
@@ -928,6 +1024,7 @@ func (e *Engine) runContained() (res slim.Result, err error) {
 		Elapsed:         time.Since(start),
 	}
 
+	rec.Links = int64(len(res.Links))
 	e.runs.Add(1)
 	e.mu.Lock()
 	e.cur = &res
@@ -991,6 +1088,62 @@ func (e *Engine) LinksFor(id slim.EntityID) []slim.Link {
 	}
 	return out
 }
+
+// Explanation joins every provenance layer for one (u, v) pair: the
+// shard-local score decomposition, candidate lineage and edge lineage,
+// the engine's current published version, and — when it is still in the
+// flight recorder — the journal entry of the run that last rescored the
+// pair.
+type Explanation struct {
+	slim.PairExplanation
+	// Shard is the shard that owns u (and answered the query).
+	Shard int
+	// Version is the published result version at query time. Lineage run
+	// sequences are stamped with to-be-published versions, so for a pair
+	// rescored by a successful run Edge.RescoredSeq <= Version.
+	Version uint64
+	// Run is the journal entry of the run that last rescored the pair;
+	// nil when that run has aged out of the ring (or never journaled —
+	// e.g. a result restored from a snapshot).
+	Run *RunRecord
+}
+
+// Explain reports the full provenance of one pair, routed to the shard
+// owning u. It briefly takes that shard's runMu (serializing with
+// relinks, not with ingest or queries), so the answer is consistent
+// with the shard's current linker state.
+func (e *Engine) Explain(u, v slim.EntityID) Explanation {
+	s := shardOf(u, len(e.shards))
+	sh := e.shards[s]
+	sh.runMu.Lock()
+	pex := sh.lk.Explain(u, v)
+	sh.runMu.Unlock()
+	ex := Explanation{PairExplanation: pex, Shard: s}
+	e.mu.Lock()
+	ex.Version = e.version
+	e.mu.Unlock()
+	if pex.Edge.Linked {
+		if rec, ok := e.journal.byVersion(pex.Edge.RescoredSeq); ok {
+			ex.Run = &rec
+		}
+	}
+	return ex
+}
+
+// Runs returns up to limit flight-recorder entries, newest first,
+// skipping the offset newest (limit <= 0 = everything retained). total
+// counts runs ever recorded, including entries already overwritten —
+// the pagination contract behind /v1/runs.
+func (e *Engine) Runs(limit, offset int) (recs []RunRecord, total uint64) {
+	return e.journal.snapshot(limit, offset)
+}
+
+// RunJournalCap returns the flight-recorder ring capacity.
+func (e *Engine) RunJournalCap() int { return e.journal.capacity() }
+
+// RunJournalLen returns how many runs the flight recorder currently
+// retains (at most RunJournalCap).
+func (e *Engine) RunJournalLen() int { return e.journal.size() }
 
 // Stats is a point-in-time snapshot of the engine's operational state.
 type Stats struct {
@@ -1185,6 +1338,7 @@ func mergeEdgeStats(agg, es *slim.EdgeStoreStats) *slim.EdgeStoreStats {
 	}
 	agg.Pairs += es.Pairs
 	agg.Epoch += es.Epoch
+	agg.ResidentBytes += es.ResidentBytes
 	agg.Retained += es.Retained
 	agg.Rescored += es.Rescored
 	agg.Dropped += es.Dropped
@@ -1273,7 +1427,7 @@ func (e *Engine) loop() {
 				}
 			}
 			e.hitFault(FaultLoop)
-			e.Run()
+			e.run("background")
 		}
 	}
 }

@@ -1,0 +1,285 @@
+package server
+
+// This file holds the provenance endpoints: GET /v1/explain joins the
+// three explainability layers (score decomposition, candidate lineage,
+// edge lineage) plus the journal entry of the run that produced the edge
+// into one document; GET /v1/runs pages through the relink flight
+// recorder.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"slim"
+	"slim/internal/engine"
+)
+
+// cellHex renders a 64-bit cell or bucket hash as a hex string: the
+// values exceed 2^53, so emitting them as JSON numbers would silently
+// lose precision in JavaScript consumers.
+func cellHex(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// pairContributionJSON is one bin pair's term in a window's score.
+type pairContributionJSON struct {
+	CellU        string  `json:"cell_u"`
+	CellV        string  `json:"cell_v"`
+	DistanceKm   float64 `json:"distance_km"`
+	Proximity    float64 `json:"proximity"`
+	IDFWeight    float64 `json:"idf_weight"`
+	Contribution float64 `json:"contribution"`
+	Alibi        bool    `json:"alibi,omitempty"`
+	MFN          bool    `json:"mfn,omitempty"`
+}
+
+type windowBreakdownJSON struct {
+	Window int64                  `json:"window"`
+	BinsU  int                    `json:"bins_u"`
+	BinsV  int                    `json:"bins_v"`
+	Sum    float64                `json:"sum"`
+	Pairs  []pairContributionJSON `json:"pairs,omitempty"`
+}
+
+type breakdownJSON struct {
+	Known   bool                  `json:"known"`
+	NormU   float64               `json:"norm_u"`
+	NormV   float64               `json:"norm_v"`
+	Norm    float64               `json:"norm"`
+	Total   float64               `json:"total"`
+	Windows []windowBreakdownJSON `json:"windows,omitempty"`
+}
+
+type bandCollisionJSON struct {
+	Band    int    `json:"band"`
+	Hash    string `json:"hash"`
+	BucketE int    `json:"bucket_e"`
+	BucketI int    `json:"bucket_i"`
+}
+
+type candidateExplainJSON struct {
+	HasU         bool                `json:"has_u"`
+	HasV         bool                `json:"has_v"`
+	Candidate    bool                `json:"candidate"`
+	BandCount    int32               `json:"band_count"`
+	Collisions   []bandCollisionJSON `json:"collisions,omitempty"`
+	Epoch        uint64              `json:"epoch"`
+	SignatureLen int                 `json:"signature_len"`
+	Bands        int                 `json:"bands"`
+	Rows         int                 `json:"rows"`
+	SigVersionU  uint64              `json:"sig_version_u,omitempty"`
+	SigVersionV  uint64              `json:"sig_version_v,omitempty"`
+}
+
+type edgeLineageJSON struct {
+	Linked           bool    `json:"linked"`
+	Score            float64 `json:"score,omitempty"`
+	RescoredSeq      uint64  `json:"rescored_seq,omitempty"`
+	RetainedSinceSeq uint64  `json:"retained_since_seq,omitempty"`
+	LastFullSeq      uint64  `json:"last_full_seq,omitempty"`
+	ScoreAtLastFull  float64 `json:"score_at_last_full,omitempty"`
+	StoreEpoch       uint64  `json:"store_epoch"`
+}
+
+// stageDurationsJSON carries one run's per-stage wall times (the same
+// stages as the slim_relink_stage_seconds histograms).
+type stageDurationsJSON struct {
+	ApplyMs          float64 `json:"apply_ms"`
+	CandidateIndexMs float64 `json:"candidate_index_ms"`
+	RescoreMs        float64 `json:"rescore_ms"`
+	MergeMs          float64 `json:"merge_ms"`
+	MatchMs          float64 `json:"match_ms"`
+	ThresholdMs      float64 `json:"threshold_ms"`
+}
+
+type runRecordJSON struct {
+	Seq            uint64             `json:"seq"`
+	Version        uint64             `json:"version"`
+	Trigger        string             `json:"trigger"`
+	StartUnixMs    int64              `json:"start_unix_ms"`
+	DurationMs     float64            `json:"duration_ms"`
+	DirtyShards    int                `json:"dirty_shards"`
+	ShortCircuit   bool               `json:"short_circuit"`
+	FullRescore    bool               `json:"full_rescore"`
+	Panicked       bool               `json:"panicked"`
+	PanicMsg       string             `json:"panic_msg,omitempty"`
+	Rescored       int64              `json:"rescored"`
+	Retained       int64              `json:"retained"`
+	Dropped        int64              `json:"dropped"`
+	CandidatePairs int64              `json:"candidate_pairs"`
+	Links          int64              `json:"links"`
+	Stages         stageDurationsJSON `json:"stages"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func toRunRecordJSON(r engine.RunRecord) runRecordJSON {
+	return runRecordJSON{
+		Seq:            r.Seq,
+		Version:        r.Version,
+		Trigger:        r.Trigger,
+		StartUnixMs:    r.Start.UnixMilli(),
+		DurationMs:     ms(r.Duration),
+		DirtyShards:    r.DirtyShards,
+		ShortCircuit:   r.ShortCircuit,
+		FullRescore:    r.FullRescore,
+		Panicked:       r.Panicked,
+		PanicMsg:       r.PanicMsg,
+		Rescored:       r.Rescored,
+		Retained:       r.Retained,
+		Dropped:        r.Dropped,
+		CandidatePairs: r.CandidatePairs,
+		Links:          r.Links,
+		Stages: stageDurationsJSON{
+			ApplyMs:          ms(r.ApplyDur),
+			CandidateIndexMs: ms(r.IndexDur),
+			RescoreMs:        ms(r.RescoreDur),
+			MergeMs:          ms(r.MergeDur),
+			MatchMs:          ms(r.MatchDur),
+			ThresholdMs:      ms(r.ThresholdDur),
+		},
+	}
+}
+
+// explainResponse is the one-stop provenance document for a pair.
+type explainResponse struct {
+	E       string        `json:"e"`
+	I       string        `json:"i"`
+	Shard   int           `json:"shard"`
+	Version uint64        `json:"version"`
+	Score   breakdownJSON `json:"score"`
+	// Candidates is omitted when the engine runs brute force (every pair
+	// is a candidate; there is no filter lineage to report).
+	Candidates *candidateExplainJSON `json:"candidates,omitempty"`
+	Edge       edgeLineageJSON       `json:"edge"`
+	// Run is the flight-recorder entry of the run that last rescored the
+	// pair, when it is still in the ring.
+	Run *runRecordJSON `json:"run,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	u, v := q.Get("e"), q.Get("i")
+	if u == "" || v == "" {
+		s.error(w, req, http.StatusBadRequest, "both e and i query parameters are required")
+		return
+	}
+	ex := s.eng.Explain(slim.EntityID(u), slim.EntityID(v))
+	resp := explainResponse{
+		E:       u,
+		I:       v,
+		Shard:   ex.Shard,
+		Version: ex.Version,
+		Edge: edgeLineageJSON{
+			Linked:           ex.Edge.Linked,
+			Score:            ex.Edge.Score,
+			RescoredSeq:      ex.Edge.RescoredSeq,
+			RetainedSinceSeq: ex.Edge.RetainedSinceSeq,
+			LastFullSeq:      ex.Edge.LastFullSeq,
+			ScoreAtLastFull:  ex.Edge.ScoreAtLastFull,
+			StoreEpoch:       ex.Edge.StoreEpoch,
+		},
+	}
+	if bd := ex.Breakdown; bd != nil {
+		resp.Score = breakdownJSON{
+			Known: bd.Known,
+			NormU: bd.NormU,
+			NormV: bd.NormV,
+			Norm:  bd.Norm,
+			Total: bd.Total,
+		}
+		for _, wb := range bd.Windows {
+			wj := windowBreakdownJSON{
+				Window: wb.Window,
+				BinsU:  wb.BinsU,
+				BinsV:  wb.BinsV,
+				Sum:    wb.Sum,
+			}
+			for _, pc := range wb.Pairs {
+				wj.Pairs = append(wj.Pairs, pairContributionJSON{
+					CellU:        cellHex(uint64(pc.CellU)),
+					CellV:        cellHex(uint64(pc.CellV)),
+					DistanceKm:   pc.DistanceKm,
+					Proximity:    pc.Proximity,
+					IDFWeight:    pc.IDFWeight,
+					Contribution: pc.Contribution,
+					Alibi:        pc.Alibi,
+					MFN:          pc.MFN,
+				})
+			}
+			resp.Score.Windows = append(resp.Score.Windows, wj)
+		}
+	}
+	if ce := ex.Candidates; ce != nil {
+		cj := &candidateExplainJSON{
+			HasU:         ce.HasU,
+			HasV:         ce.HasV,
+			Candidate:    ce.Candidate,
+			BandCount:    ce.BandCount,
+			Epoch:        ce.Epoch,
+			SignatureLen: ce.SignatureLen,
+			Bands:        ce.Bands,
+			Rows:         ce.Rows,
+			SigVersionU:  ce.SigVersionU,
+			SigVersionV:  ce.SigVersionV,
+		}
+		for _, bc := range ce.Collisions {
+			cj.Collisions = append(cj.Collisions, bandCollisionJSON{
+				Band:    bc.Band,
+				Hash:    cellHex(bc.Hash),
+				BucketE: bc.BucketE,
+				BucketI: bc.BucketI,
+			})
+		}
+		resp.Candidates = cj
+	}
+	if ex.Run != nil {
+		rj := toRunRecordJSON(*ex.Run)
+		resp.Run = &rj
+	}
+	s.json(w, http.StatusOK, resp)
+}
+
+// defaultRunsLimit caps an unpaginated /v1/runs answer.
+const defaultRunsLimit = 50
+
+type runsResponse struct {
+	// TotalRuns counts runs ever recorded (including entries the ring has
+	// already overwritten); Capacity is the ring size.
+	TotalRuns uint64          `json:"total_runs"`
+	Capacity  int             `json:"capacity"`
+	Count     int             `json:"count"`
+	Runs      []runRecordJSON `json:"runs"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	limit, err := intParam(q.Get("limit"), defaultRunsLimit)
+	if err != nil {
+		s.error(w, req, http.StatusBadRequest, "bad limit")
+		return
+	}
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil {
+		s.error(w, req, http.StatusBadRequest, "bad offset")
+		return
+	}
+	recs, total := s.eng.Runs(limit, offset)
+	resp := runsResponse{
+		TotalRuns: total,
+		Capacity:  s.eng.RunJournalCap(),
+		Count:     len(recs),
+		Runs:      make([]runRecordJSON, 0, len(recs)),
+	}
+	for _, r := range recs {
+		resp.Runs = append(resp.Runs, toRunRecordJSON(r))
+	}
+	s.json(w, http.StatusOK, resp)
+}
+
+// ExplainHandler returns the /v1/explain handler for mounting on an
+// auxiliary mux (slimd re-exports it on -debug-addr next to pprof).
+func (s *Server) ExplainHandler() http.Handler { return http.HandlerFunc(s.handleExplain) }
+
+// RunsHandler returns the /v1/runs handler for mounting on an auxiliary
+// mux.
+func (s *Server) RunsHandler() http.Handler { return http.HandlerFunc(s.handleRuns) }

@@ -13,6 +13,10 @@
 //	GET  /v1/links                    current links (?limit=&offset=&min_score=)
 //	GET  /v1/links/{entity}           links involving one entity (either side)
 //	GET  /v1/stats                    engine + candidate-index + storage statistics
+//	GET  /v1/explain?e=&i=            full provenance of one pair: score
+//	                                  decomposition, candidate (LSH) lineage,
+//	                                  edge lineage, and the run that produced it
+//	GET  /v1/runs                     relink flight recorder (?limit=&offset=)
 //	GET  /healthz                     liveness probe; always 200, the JSON body
 //	                                  names any degraded failure domain, its
 //	                                  cause, and since when
@@ -133,6 +137,8 @@ func New(eng *engine.Engine, logger *slog.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
 	s.mux.HandleFunc("GET /v1/links/{entity}", s.handleLinksFor)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -726,6 +732,15 @@ type edgeStoreJSON struct {
 	RetainedTotal   uint64  `json:"retained_total"`
 	RescoredTotal   uint64  `json:"rescored_total"`
 	DroppedTotal    uint64  `json:"dropped_total"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+}
+
+// runJournalJSON summarizes the relink flight recorder on /v1/stats
+// (page through the entries themselves on /v1/runs).
+type runJournalJSON struct {
+	Capacity  int    `json:"capacity"`
+	Records   int    `json:"records"`
+	TotalRuns uint64 `json:"total_runs"`
 }
 
 type statsResponse struct {
@@ -755,6 +770,7 @@ type statsResponse struct {
 	Threshold      float64             `json:"threshold"`
 	CandidateIndex *candidateIndexJSON `json:"candidate_index,omitempty"`
 	EdgeStore      *edgeStoreJSON      `json:"edge_store,omitempty"`
+	RunJournal     *runJournalJSON     `json:"run_journal,omitempty"`
 	Storage        *storageStatsJSON   `json:"storage,omitempty"`
 	Ingest         *ingestStatsJSON    `json:"ingest,omitempty"`
 }
@@ -830,7 +846,14 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 			RetainedTotal:   st.EdgeRetainedTotal,
 			RescoredTotal:   st.EdgeRescoredTotal,
 			DroppedTotal:    st.EdgeDroppedTotal,
+			ResidentBytes:   es.ResidentBytes,
 		}
+	}
+	_, totalRuns := s.eng.Runs(1, 0)
+	resp.RunJournal = &runJournalJSON{
+		Capacity:  s.eng.RunJournalCap(),
+		Records:   s.eng.RunJournalLen(),
+		TotalRuns: totalRuns,
 	}
 	ist := s.plane.Stats()
 	resp.Ingest = &ingestStatsJSON{

@@ -1,0 +1,237 @@
+package similarity
+
+import (
+	"math"
+
+	"slim/internal/geo"
+	"slim/internal/history"
+	"slim/internal/model"
+)
+
+// PairContribution is one bin pair's term in a window's score: the two
+// cells, their distance, the proximity P (Eq. 1), the IDF weight (Eq. 3),
+// and the exact normalized value added to the window sum
+// (proximity × weight / norm). MFN marks terms contributed by the
+// mutually-furthest-neighbor alibi pass; Alibi marks negative proximity.
+type PairContribution struct {
+	CellU, CellV geo.CellID
+	DistanceKm   float64
+	Proximity    float64
+	IDFWeight    float64
+	Contribution float64
+	Alibi        bool
+	MFN          bool
+}
+
+// WindowBreakdown is the decomposition of one common temporal window:
+// the bin pairs the pairing selected (in selection order — the exact
+// order the kernel accumulated them) and their sum, which is
+// bit-identical to the window's contribution inside Score.
+type WindowBreakdown struct {
+	// Window is the leaf temporal window index.
+	Window int64
+	// BinsU / BinsV count the two entities' time-location bins in this
+	// window.
+	BinsU, BinsV int
+	// Pairs are the contributing bin pairs in accumulation order. The MFN
+	// pass only appends pairs that actually contributed (negative,
+	// non-selected), mirroring the kernel.
+	Pairs []PairContribution
+	// Sum is the window's total contribution, accumulated over Pairs in
+	// order — bit-identical to the kernel's per-window sum.
+	Sum float64
+}
+
+// Breakdown is the full decomposition of one Score(u, v) call. Total is
+// recomposed by adding Windows[k].Sum in window order, replicating the
+// kernel's accumulation sequence exactly, so Total (and the re-summed
+// window sums) equal Score(u, v) bit for bit — the property gated by
+// TestScoreBreakdownRecomposesBitIdentically.
+type Breakdown struct {
+	U, V model.EntityID
+	// Known is false when either entity has no history (Score returns 0).
+	Known bool
+	// NormU / NormV are the BM25-style length factors L(u), L(v) (1 when
+	// normalization is disabled); Norm is the product actually divided by
+	// (clamped to 1 when non-positive, exactly as in Score).
+	NormU, NormV, Norm float64
+	// Windows decomposes every common temporal window, in window order.
+	Windows []WindowBreakdown
+	// Total is the recomposed score.
+	Total float64
+}
+
+// ScoreBreakdown computes the full per-window decomposition of
+// Score(u, v). It is the explainability slow path: it walks the same
+// compiled views and replicates the kernel's pairing and floating-point
+// accumulation order exactly — same distances (canonical CellDistanceKm
+// argument order), same argsorted MNN sweep, same MFN alibi pass, same
+// per-window and cross-window summation sequence — so the recomposed
+// Total is bit-identical to Score(u, v). Unlike Score it allocates
+// freely (fresh buffers, no pooled scratch) and leaves the scorer's work
+// counters untouched: calling it never perturbs Stats() or the 0 alloc/op
+// hot path.
+func (s *Scorer) ScoreBreakdown(u, v model.EntityID) *Breakdown {
+	bd := &Breakdown{U: u, V: v, NormU: 1, NormV: 1, Norm: 1}
+	cu, idsU := s.E.CompiledView(u)
+	cv, idsV := s.I.CompiledView(v)
+	if cu == nil || cv == nil {
+		return bd
+	}
+	bd.Known = true
+
+	lu, lv := 1.0, 1.0
+	if s.Par.UseNorm {
+		lu = s.E.NormFactor(u, s.Par.B)
+		lv = s.I.NormFactor(v, s.Par.B)
+	}
+	bd.NormU, bd.NormV = lu, lv
+	norm := lu * lv
+	if norm <= 0 {
+		norm = 1
+	}
+	bd.Norm = norm
+
+	wu, wv := cu.Windows, cv.Windows
+	for i, j := 0, 0; i < len(wu) && j < len(wv); {
+		switch {
+		case wu[i] < wv[j]:
+			i++
+		case wu[i] > wv[j]:
+			j++
+		default:
+			wb := s.breakdownWindow(cu, cv, i, j, idsU, idsV, norm)
+			// Add even an empty window's (zero) sum: Score adds every
+			// common window's return value, and the accumulation sequence
+			// must match term for term.
+			bd.Total += wb.Sum
+			bd.Windows = append(bd.Windows, wb)
+			i++
+			j++
+		}
+	}
+	return bd
+}
+
+// breakdownWindow decomposes one common window, mirroring scoreWindow's
+// control flow with recording added and pooled scratch replaced by fresh
+// buffers.
+func (s *Scorer) breakdownWindow(cu, cv *history.Compiled, ku, kv int, idsU, idsV []geo.CellID, norm float64) WindowBreakdown {
+	wb := WindowBreakdown{Window: cu.Windows[ku]}
+	loU, hiU := cu.Off[ku], cu.Off[ku+1]
+	loV, hiV := cv.Off[kv], cv.Off[kv+1]
+	nU, nV := int(hiU-loU), int(hiV-loV)
+	wb.BinsU, wb.BinsV = nU, nV
+	if nU == 0 || nV == 0 {
+		return wb
+	}
+	cellsU, cellsV := cu.Cells[loU:hiU], cv.Cells[loV:hiV]
+	idfU, idfV := cu.IDF[loU:hiU], cv.IDF[loV:hiV]
+
+	n := nU * nV
+	dist := make([]float64, n)
+	for i, ci := range cellsU {
+		a := idsU[ci]
+		row := dist[i*nV : (i+1)*nV]
+		for j, cj := range cellsV {
+			b := idsV[cj]
+			if a == b {
+				row[j] = 0
+				continue
+			}
+			// Canonical argument order, as in fillDistances: CellDistanceKm
+			// is not bit-symmetric in its arguments.
+			if b < a {
+				row[j] = geo.CellDistanceKm(b, a)
+			} else {
+				row[j] = geo.CellDistanceKm(a, b)
+			}
+		}
+	}
+
+	contrib := func(i, j int, mfn bool) PairContribution {
+		d := dist[i*nV+j]
+		p := Proximity(d, s.Par.RunawayKm, s.Par.MinLogArg)
+		weight := 1.0
+		if s.Par.UseIDF {
+			weight = math.Min(idfU[i], idfV[j])
+		}
+		return PairContribution{
+			CellU:        idsU[cellsU[i]],
+			CellV:        idsV[cellsV[j]],
+			DistanceKm:   d,
+			Proximity:    p,
+			IDFWeight:    weight,
+			Contribution: p * weight / norm,
+			Alibi:        p < 0,
+			MFN:          mfn,
+		}
+	}
+
+	if s.Par.Pairing == PairingAllPairs {
+		for i := 0; i < nU; i++ {
+			for j := 0; j < nV; j++ {
+				pc := contrib(i, j, false)
+				wb.Sum += pc.Contribution
+				wb.Pairs = append(wb.Pairs, pc)
+			}
+		}
+		return wb
+	}
+
+	nPairs := min(nU, nV)
+	order := make([]int32, n)
+	sortPairOrder(order, dist)
+
+	usedU := make([]bool, nU)
+	usedV := make([]bool, nV)
+	var sel []bool
+	if s.Par.UseMFN {
+		sel = make([]bool, n)
+	}
+	taken := 0
+	for _, k := range order {
+		if taken == nPairs {
+			break
+		}
+		i, j := int(k)/nV, int(k)%nV
+		if usedU[i] || usedV[j] {
+			continue
+		}
+		usedU[i], usedV[j] = true, true
+		if sel != nil {
+			sel[k] = true
+		}
+		pc := contrib(i, j, false)
+		wb.Sum += pc.Contribution
+		wb.Pairs = append(wb.Pairs, pc)
+		taken++
+	}
+
+	if !s.Par.UseMFN {
+		return wb
+	}
+	clear(usedU)
+	clear(usedV)
+	taken = 0
+	for k := n - 1; k >= 0 && taken < nPairs; k-- {
+		id := order[k]
+		i, j := int(id)/nV, int(id)%nV
+		if usedU[i] || usedV[j] {
+			continue
+		}
+		usedU[i], usedV[j] = true, true
+		taken++
+		if sel[id] {
+			continue
+		}
+		// Only strictly negative normalized deltas contribute, exactly as
+		// in the kernel (a zero-weight alibi pair produces -0.0, which is
+		// not < 0 and is skipped there too).
+		if pc := contrib(i, j, true); pc.Contribution < 0 {
+			wb.Sum += pc.Contribution
+			wb.Pairs = append(wb.Pairs, pc)
+		}
+	}
+	return wb
+}

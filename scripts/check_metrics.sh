@@ -55,6 +55,16 @@ echo "== ingesting one batch and relinking"
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d '{"records":[{"entity":"m1","lat":40.7,"lng":-74.0,"unix":1700000000},{"entity":"m1","lat":40.8,"lng":-74.1,"unix":1700000600}]}' \
   "$base/v1/datasets/e/records" >/dev/null
+# Mirror the trajectory into dataset i so (m1, m1) links — the provenance
+# round trip below needs a pair with a real edge and score decomposition.
+# A second entity on a different route makes the IDF weights positive
+# (cells seen by every entity weigh log(N/df) = 0).
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"records":[{"entity":"m2","lat":41.2,"lng":-73.5,"unix":1700000000},{"entity":"m2","lat":41.3,"lng":-73.6,"unix":1700000600}]}' \
+  "$base/v1/datasets/e/records" >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"records":[{"entity":"m1","lat":40.7,"lng":-74.0,"unix":1700000030},{"entity":"m1","lat":40.8,"lng":-74.1,"unix":1700000630},{"entity":"m2","lat":41.2,"lng":-73.5,"unix":1700000030},{"entity":"m2","lat":41.3,"lng":-73.6,"unix":1700000630}]}' \
+  "$base/v1/datasets/i/records" >/dev/null
 curl -fsS -X POST "$base/v1/link" >/dev/null
 
 echo "== scraping /metrics"
@@ -92,6 +102,13 @@ slim_health_state
 slim_storage_reopen_retries_total
 slim_relink_panics_total
 slim_relink_stuck_seconds
+slim_build_info
+slim_go_goroutines
+slim_go_heap_alloc_bytes
+slim_go_gc_pause_total_seconds
+slim_edge_store_pairs
+slim_edge_store_resident_bytes
+slim_run_journal_records
 '
 missing=0
 for name in $required; do
@@ -101,6 +118,21 @@ for name in $required; do
   fi
 done
 [ "$missing" -eq 0 ] || exit 1
+
+echo "== round-tripping the provenance endpoints"
+explain="$workdir/explain.json"
+curl -fsS "$base/v1/explain?e=m1&i=m1" >"$explain"
+grep -q '"rescored_seq"' "$explain" \
+  || { echo "/v1/explain missing edge lineage:"; cat "$explain"; exit 1; }
+grep -q '"windows"' "$explain" \
+  || { echo "/v1/explain missing score decomposition:"; cat "$explain"; exit 1; }
+runs="$workdir/runs.json"
+curl -fsS "$base/v1/runs?limit=5" >"$runs"
+grep -q '"total_runs"' "$runs" && grep -q '"trigger"' "$runs" \
+  || { echo "/v1/runs missing journal records:"; cat "$runs"; exit 1; }
+# Parameter validation must reject a half-specified pair.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/explain?e=m1")"
+[ "$code" = "400" ] || { echo "/v1/explain without i returned $code, want 400"; exit 1; }
 
 echo "== checking the freshness pipeline moved and drained"
 count="$(sed -n 's/^slim_ingest_to_visible_seconds_count \(.*\)$/\1/p' "$metrics")"

@@ -119,6 +119,11 @@ type Linker struct {
 	// edges is the maintained pair→score state RunEdges updates by delta;
 	// see edges.go for the epoch-invalidation discipline.
 	edges edgeStore
+	// nextRunSeq, when set, pins the run sequence the next RunEdges stamps
+	// onto edge lineage (see SetNextRunSeq); otherwise RunEdges counts its
+	// own runs.
+	nextRunSeq    uint64
+	nextRunSeqSet bool
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
@@ -395,6 +400,54 @@ func (lk *Linker) EntitiesI() []EntityID { return lk.storeI.Entities() }
 // Score computes the SLIM similarity S(u, v) for one pair on demand.
 func (lk *Linker) Score(u, v EntityID) float64 { return lk.scorer.Score(u, v) }
 
+// ScoreBreakdown computes the full per-window decomposition of
+// Score(u, v): every common temporal window with the bin pairs the
+// pairing selected, their distances, proximities and IDF weights, and
+// per-window sums that recompose to Score(u, v) bit-identically. It is
+// the explainability slow path — it allocates freely and never perturbs
+// the scorer's pooled scratch or work counters.
+func (lk *Linker) ScoreBreakdown(u, v EntityID) *similarity.Breakdown {
+	return lk.scorer.ScoreBreakdown(u, v)
+}
+
+// SetNextRunSeq pins the run sequence the next RunEdges stamps onto edge
+// lineage. Partitioned engines call it with their next published result
+// version just before driving a shard's RunEdges, so lineage sequence
+// numbers line up with the versions reported by /v1/stats and the run
+// journal. Without it RunEdges counts its own updates.
+func (lk *Linker) SetNextRunSeq(seq uint64) {
+	lk.nextRunSeq = seq
+	lk.nextRunSeqSet = true
+}
+
+// PairExplanation joins the three provenance layers for one (u, v) pair:
+// the score decomposition, the candidate-filter lineage (nil when LSH is
+// disabled — every pair is a candidate then), and the edge-store lineage.
+type PairExplanation struct {
+	// Breakdown decomposes the current Score(u, v).
+	Breakdown *similarity.Breakdown
+	// Candidates explains the pair's LSH lineage; nil when the linker runs
+	// brute force (no candidate filter to explain).
+	Candidates *candidates.PairExplain
+	// Edge is the pair's edge-store provenance.
+	Edge EdgeLineage
+}
+
+// Explain reports the full provenance of one pair. Like Score it reads
+// the current stores — call it after RunEdges for answers consistent with
+// the last published links. Not safe concurrently with ingest or runs.
+func (lk *Linker) Explain(u, v EntityID) PairExplanation {
+	ex := PairExplanation{
+		Breakdown: lk.ScoreBreakdown(u, v),
+		Edge:      lk.edges.lineage(lsh.Pair{U: u, V: v}),
+	}
+	if lk.candIndex != nil {
+		ce := lk.candIndex.Explain(lsh.Pair{U: u, V: v})
+		ex.Candidates = &ce
+	}
+	return ex
+}
+
 // CandidatePairs returns the pairs that will be scored: the LSH survivors,
 // or every cross pair when LSH is disabled. In the brute-force case the
 // cross product is materialized afresh on every call — the scoring path
@@ -472,6 +525,14 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 	nPairs := lk.NumCandidatePairs()
 
 	start := time.Now()
+	// Run sequence stamped onto edge lineage: a partitioned engine pins it
+	// to its next published result version (SetNextRunSeq); standalone
+	// linkers just count their own updates.
+	seq := lk.edges.seq + 1
+	if lk.nextRunSeqSet {
+		seq = lk.nextRunSeq
+		lk.nextRunSeqSet = false
+	}
 	epochE, epochI := lk.storeE.Epoch(), lk.storeI.Epoch()
 	full := !lk.edges.built || lk.edges.pendFull ||
 		epochE != lk.edges.epochE || epochI != lk.edges.epochI
@@ -491,7 +552,7 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 				return es[k/len(is)], is[k%len(is)]
 			})
 		}
-		lk.edges.resetFull(toLinks(edges))
+		lk.edges.resetFull(toLinks(edges), seq)
 		lk.edges.lastRescored, lk.edges.lastRetained, lk.edges.lastDropped = nPairs, 0, 0
 	} else {
 		var pairs []lsh.Pair
@@ -503,7 +564,7 @@ func (lk *Linker) RunEdges() ([]Link, Stats) {
 		} else {
 			pairs = lk.bruteDeltaPairs()
 		}
-		dropped := lk.edges.apply(pairs, lk.scorePairs(pairs))
+		dropped := lk.edges.apply(pairs, lk.scorePairs(pairs), seq)
 		lk.edges.lastRescored = int64(len(pairs))
 		lk.edges.lastRetained = nPairs - int64(len(pairs))
 		lk.edges.lastDropped = dropped
