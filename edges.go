@@ -135,6 +135,17 @@ type edgeStore struct {
 	lastRetained, lastRescored, lastDropped int64
 	lastFull                                bool
 	lastUpdate                              time.Duration
+
+	// deltaChanged / deltaRemoved record the exact edge-level delta of the
+	// last update for the incremental publish tail: edges that entered the
+	// store or changed score (with their fresh scores) and edges that left
+	// it (with the scores they held). A score change records both. The
+	// buffers are reused across updates — consumers must not retain them —
+	// and updates counts every resetFull/apply so a consumer can detect a
+	// missed delta and fall back to a full rebuild.
+	deltaChanged []Link
+	deltaRemoved []Link
+	updates      uint64
 }
 
 func newEdgeStore() edgeStore {
@@ -197,6 +208,9 @@ func (es *edgeStore) resetFull(edges []Link, seq uint64) {
 	es.fullRescores++
 	es.lastFull = true
 	es.seq = seq
+	es.deltaChanged = es.deltaChanged[:0]
+	es.deltaRemoved = es.deltaRemoved[:0]
+	es.updates++
 }
 
 // apply performs one delta update stamped with the given run seq: drop
@@ -204,12 +218,15 @@ func (es *edgeStore) resetFull(edges []Link, seq uint64) {
 // pairs (deleting pairs that scored non-positive). It returns how many
 // edges were dropped from the store.
 func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64, seq uint64) (dropped int64) {
+	es.deltaChanged = es.deltaChanged[:0]
+	es.deltaRemoved = es.deltaRemoved[:0]
 	for p := range es.pendRemoved {
-		if _, ok := es.scores[p]; ok {
+		if old, ok := es.scores[p]; ok {
 			delete(es.scores, p)
 			delete(es.meta, p)
 			es.bytes -= pairBytes(p)
 			es.linksStale = true
+			es.deltaRemoved = append(es.deltaRemoved, Link{U: p.U, V: p.V, Score: old})
 			dropped++
 		}
 	}
@@ -220,6 +237,10 @@ func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64, seq uint64) (drop
 			if !had || old != s {
 				es.scores[p] = s
 				es.linksStale = true
+				if had {
+					es.deltaRemoved = append(es.deltaRemoved, Link{U: p.U, V: p.V, Score: old})
+				}
+				es.deltaChanged = append(es.deltaChanged, Link{U: p.U, V: p.V, Score: s})
 			}
 			m, hadMeta := es.meta[p]
 			if !hadMeta {
@@ -233,6 +254,7 @@ func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64, seq uint64) (drop
 			delete(es.meta, p)
 			es.bytes -= pairBytes(p)
 			es.linksStale = true
+			es.deltaRemoved = append(es.deltaRemoved, Link{U: p.U, V: p.V, Score: old})
 			dropped++
 		}
 	}
@@ -240,6 +262,7 @@ func (es *edgeStore) apply(pairs []lsh.Pair, scores []float64, seq uint64) (drop
 	clear(es.pendRemoved)
 	es.lastFull = false
 	es.seq = seq
+	es.updates++
 	return dropped
 }
 
@@ -294,6 +317,18 @@ func (es *edgeStore) materialize() []Link {
 		es.links = []Link{}
 	}
 	return es.links
+}
+
+// delta returns the edge-level delta of the last update, for the
+// incremental publish tail. The slices alias the store's reused buffers:
+// consumers must fold them in before the next update.
+func (es *edgeStore) delta() EdgeDelta {
+	return EdgeDelta{
+		Full:    es.lastFull,
+		Seq:     es.updates,
+		Changed: es.deltaChanged,
+		Removed: es.deltaRemoved,
+	}
 }
 
 // statsSnapshot returns a fresh stats copy (safe for callers to retain

@@ -275,6 +275,21 @@ type Engine struct {
 	runSeq  atomic.Uint64
 	journal *journal
 
+	// tail is the engine-global incremental publish tail: the maintained
+	// sorted edge order, prefix-reusing greedy matching and cached
+	// threshold fit the merge/match/threshold stages run through (nil when
+	// the configured matcher is Hungarian, which has no incremental
+	// structure). tailValid marks the tail's maintained state consistent
+	// with the shards' edge stores; it is cleared before every tail
+	// mutation and after any failed run, so a panicked run — whose
+	// completed shard rescores produced deltas the tail never consumed —
+	// degrades the next publish to a full rebuild instead of publishing
+	// from a stale order. Both are guarded by runMu; tailStats mirrors the
+	// tail's snapshot for lock-free Stats and /metrics reads.
+	tail      *slim.PublishTail
+	tailValid bool
+	tailStats atomic.Pointer[slim.PublishTailStats]
+
 	metrics *engMetrics
 
 	kick   chan struct{}
@@ -428,6 +443,48 @@ func newEngMetrics(reg *obs.Registry, e *Engine) *engMetrics {
 	reg.GaugeFunc("slim_run_journal_records",
 		"Relink runs currently retained in the flight-recorder ring.",
 		func() float64 { return float64(e.journal.size()) })
+	// Publish-tail visibility (always registered; zeros until the first
+	// published greedy run). Gauges describe the latest publish, counters
+	// accumulate since boot — all read the lock-free tailStats mirror.
+	tailGauge := func(f func(*slim.PublishTailStats) float64) func() float64 {
+		return func() float64 {
+			if p := e.tailStats.Load(); p != nil {
+				return f(p)
+			}
+			return 0
+		}
+	}
+	tailCounter := func(f func(*slim.PublishTailStats) uint64) func() uint64 {
+		return func() uint64 {
+			if p := e.tailStats.Load(); p != nil {
+				return f(p)
+			}
+			return 0
+		}
+	}
+	reg.GaugeFunc("slim_publish_tail_edges",
+		"Edges in the publish tail's maintained sorted order.",
+		tailGauge(func(t *slim.PublishTailStats) float64 { return float64(t.Edges) }))
+	reg.GaugeFunc("slim_publish_tail_reused_prefix_len",
+		"Matched links the latest publish reused verbatim from the previous run.",
+		tailGauge(func(t *slim.PublishTailStats) float64 { return float64(t.ReusedPrefixLen) }))
+	reg.GaugeFunc("slim_publish_tail_suffix_walked",
+		"Sorted-order entries the latest publish re-walked below the first changed position.",
+		tailGauge(func(t *slim.PublishTailStats) float64 { return float64(t.SuffixWalked) }))
+	reg.CounterFunc("slim_publish_tail_full_rebuilds_total",
+		"Publish-tail full merge+match rebuilds (first build, epoch invalidations, failed runs).",
+		tailCounter(func(t *slim.PublishTailStats) uint64 { return t.FullRebuilds }))
+	reg.CounterFunc("slim_publish_tail_applies_total",
+		"Publish-tail incremental delta applies.",
+		tailCounter(func(t *slim.PublishTailStats) uint64 { return t.Applies }))
+	reg.CounterFunc("slim_threshold_fit_total",
+		"Stop-threshold selections, by whether the detector ran or the cached fit was reused bit-identically.",
+		tailCounter(func(t *slim.PublishTailStats) uint64 { return t.ThresholdFits }),
+		obs.L("result", "fit"))
+	reg.CounterFunc("slim_threshold_fit_total",
+		"Stop-threshold selections, by whether the detector ran or the cached fit was reused bit-identically.",
+		tailCounter(func(t *slim.PublishTailStats) uint64 { return t.ThresholdReuses }),
+		obs.L("result", "reused"))
 	return m
 }
 
@@ -522,6 +579,9 @@ func New(dsE, dsI slim.Dataset, cfg Config) (*Engine, error) {
 		}(sh)
 	}
 	wg.Wait()
+	if cfg.Link.Matcher != slim.MatcherHungarian {
+		e.tail = slim.NewPublishTail(cfg.Link.Threshold)
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -703,6 +763,9 @@ func (e *Engine) run(trigger string) slim.Result {
 	rec.Panicked = true
 	rec.PanicMsg = err.Error()
 	e.relinkPanics.Add(1)
+	// Shards the failed run did rescore produced edge deltas the publish
+	// tail never consumed; its maintained order can no longer be trusted.
+	e.tailValid = false
 	e.health.Degrade(err.Error())
 	if e.cfg.Logger != nil {
 		e.cfg.Logger.Error("relink run panicked; previous result republished",
@@ -856,8 +919,17 @@ func (e *Engine) runContained(rec *RunRecord) (res slim.Result, err error) {
 			// This run performed no index or edge-store work at all: zero
 			// every mirror's last-* fields (see the equivalent pass on the
 			// normal path) so /v1/stats does not echo an older relink's
-			// work next to runs_short_circuited.
+			// work next to runs_short_circuited. The publish-tail mirror
+			// gets the same treatment: the republished matching was reused
+			// in full, with no suffix walk and no threshold refit.
 			e.zeroWorkMirrors(nil)
+			if p := e.tailStats.Load(); p != nil {
+				cp := *p
+				cp.ReusedPrefixLen, cp.SuffixWalked = cp.Matched, 0
+				cp.LastFull = false
+				cp.LastUpdate, cp.LastMatch, cp.LastThreshold = 0, 0, 0
+				e.tailStats.Store(&cp)
+			}
 			locks.release()
 			rec.ShortCircuit = true
 			rec.Links = int64(len(cur.Links))
@@ -955,12 +1027,20 @@ func (e *Engine) runContained(rec *RunRecord) (res slim.Result, err error) {
 
 	// Merge. CandidatePairs / PositiveEdges / LSH describe the published
 	// result and sum over every shard; the comparison counters report work
-	// and sum only over the shards this run actually re-scored.
+	// and sum only over the shards this run actually re-scored. With the
+	// publish tail active, the merge stage collects only the dirty shards'
+	// exact edge deltas (captured here, while the shard locks are held)
+	// instead of concatenating every shard's edge list — the full
+	// concatenation happens lazily, only when the tail must rebuild.
 	mergeStart := time.Now()
-	var all []slim.Link
+	var deltas []slim.EdgeDelta
+	shardEdges := make([][]slim.Link, len(e.shards))
 	var stats slim.Stats
 	for s, sh := range e.shards {
-		all = append(all, sh.edges...)
+		shardEdges[s] = sh.edges
+		if e.tail != nil && dirty[s] {
+			deltas = append(deltas, sh.lk.LastEdgeDelta())
+		}
 		stats.CandidatePairs += sh.stats.CandidatePairs
 		stats.PositiveEdges += sh.stats.PositiveEdges
 		if dirty[s] {
@@ -1006,16 +1086,45 @@ func (e *Engine) runContained(rec *RunRecord) (res slim.Result, err error) {
 	rec.CandidatePairs = stats.CandidatePairs
 
 	e.hitFault(FaultRelink)
-	matchStart := time.Now()
-	matched := slim.MatchLinks(e.cfg.Link.Matcher, all)
-	e.metrics.stageMatch.ObserveSince(matchStart)
-	rec.MatchDur = time.Since(matchStart)
-	thrStart := time.Now()
-	thr := slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
-	e.metrics.stageThreshold.ObserveSince(thrStart)
-	rec.ThresholdDur = time.Since(thrStart)
+	concat := func() []slim.Link {
+		var all []slim.Link
+		for _, part := range shardEdges {
+			all = append(all, part...)
+		}
+		return all
+	}
+	var matched, links []slim.Link
+	var thr slim.StopThreshold
+	if e.tail != nil {
+		if !e.tailValid {
+			deltas = append(deltas, slim.EdgeDelta{Full: true})
+		}
+		// Invalid while mutating: a panic inside Publish leaves the tail
+		// half-updated, and the flag stays false until the next success.
+		e.tailValid = false
+		matched, links, thr = e.tail.Publish(deltas, concat)
+		e.tailValid = true
+		ts := e.tail.Stats()
+		e.tailStats.Store(&ts)
+		e.metrics.stageMatch.Observe(ts.LastMatch.Seconds())
+		rec.MatchDur = ts.LastMatch
+		e.metrics.stageThreshold.Observe(ts.LastThreshold.Seconds())
+		rec.ThresholdDur = ts.LastThreshold
+		rec.TailReusedPrefix = ts.ReusedPrefixLen
+		rec.TailFullRebuild = ts.LastFull
+	} else {
+		matchStart := time.Now()
+		matched = slim.MatchLinks(e.cfg.Link.Matcher, concat())
+		e.metrics.stageMatch.ObserveSince(matchStart)
+		rec.MatchDur = time.Since(matchStart)
+		thrStart := time.Now()
+		thr = slim.SelectStopThreshold(e.cfg.Link.Threshold, slim.LinkScores(matched))
+		e.metrics.stageThreshold.ObserveSince(thrStart)
+		rec.ThresholdDur = time.Since(thrStart)
+		links = slim.FilterLinks(matched, thr.Threshold)
+	}
 	res = slim.Result{
-		Links:           slim.FilterLinks(matched, thr.Threshold),
+		Links:           links,
 		Matched:         matched,
 		Threshold:       thr.Threshold,
 		ThresholdMethod: thr.Method,
@@ -1181,6 +1290,12 @@ type Stats struct {
 	// FullRescore/LastUpdate) describe the latest relink — clean shards
 	// contribute zeros, so the block reports that relink's actual work.
 	EdgeStore *slim.EdgeStoreStats
+	// PublishTail reports the incremental merge/match/threshold pipeline:
+	// maintained edge-order size, the matched-prefix reuse and suffix walk
+	// of the latest publish, full-rebuild and delta-apply counts, and
+	// threshold fit-vs-reuse counters. Nil with the Hungarian matcher or
+	// before the first published run.
+	PublishTail *slim.PublishTailStats
 	// EdgeRescoredTotal / EdgeRetainedTotal / EdgeDroppedTotal accumulate
 	// the relink-delta work across every rescored shard since
 	// construction; RunsShortCircuited counts fully-clean Run calls that
@@ -1261,6 +1376,10 @@ func (e *Engine) Stats() Stats {
 	}
 	if !oldestPend.IsZero() {
 		st.PendingOldestAge = time.Since(oldestPend)
+	}
+	if p := e.tailStats.Load(); p != nil {
+		cp := *p
+		st.PublishTail = &cp
 	}
 	if ci := st.CandidateIndex; ci != nil && ci.Buckets > 0 {
 		ci.Occupancy = float64(ci.Memberships) / float64(ci.Buckets)

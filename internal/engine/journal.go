@@ -43,6 +43,12 @@ type RunRecord struct {
 	Dropped        int64
 	CandidatePairs int64
 	Links          int64
+	// TailReusedPrefix is how many matched links the publish tail reused
+	// verbatim from the previous run; TailFullRebuild reports whether the
+	// tail fell back to a full merge+match rebuild. Both are zero on the
+	// from-scratch (Hungarian) path.
+	TailReusedPrefix int64
+	TailFullRebuild  bool
 	// Per-stage wall-clock durations (see Stats stage timings).
 	ApplyDur     time.Duration
 	IndexDur     time.Duration

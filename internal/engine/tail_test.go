@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"slim"
+	"slim/internal/fault"
+)
+
+// requireBitIdenticalLinks fails unless got and want are identical link
+// for link with Float64bits-equal scores.
+func requireBitIdenticalLinks(t *testing.T, step string, got, want []slim.Link) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d links, want %d", step, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].U != want[i].U || got[i].V != want[i].V ||
+			math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s: link %d = %+v, want %+v", step, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEnginePublishTailReuseAndPanicRecovery pins the engine's publish
+// tail discipline: a weight-only ingest burst (re-observations of
+// existing records, which rescore dirty shards to identical scores) must
+// flow through the delta path — whole matched prefix reused, threshold
+// fit reused, no full rebuild — while a panicked run must poison the
+// tail so the next run full-rebuilds it, both publishing links
+// bit-identical to the pre-burst result.
+func TestEnginePublishTailReuseAndPanicRecovery(t *testing.T) {
+	w := standardWorkload(16)
+	inj := fault.New()
+	eng, err := New(w.E, w.I, Config{
+		Shards: 4, Link: slim.Defaults(), Debounce: time.Hour, Fault: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	base := eng.Run()
+	if len(base.Links) == 0 {
+		t.Fatal("baseline run produced no links")
+	}
+	st := eng.Stats()
+	if st.PublishTail == nil || st.PublishTail.FullRebuilds == 0 || !st.PublishTail.LastFull {
+		t.Fatalf("first run must full-build the tail: %+v", st.PublishTail)
+	}
+
+	// Weight-only burst: re-ingesting existing records dirties their
+	// shards but moves no IDF epoch, so every rescored pair keeps its
+	// exact score and the per-shard deltas are empty.
+	if err := eng.AddE(w.E.Records[:8]...); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	requireBitIdenticalLinks(t, "weight-only burst", res.Links, base.Links)
+	ts := eng.Stats().PublishTail
+	if ts == nil || ts.LastFull || ts.Applies == 0 ||
+		ts.ReusedPrefixLen != int64(len(res.Matched)) || ts.SuffixWalked != 0 {
+		t.Fatalf("weight-only burst did not ride the delta path: %+v", ts)
+	}
+	if ts.ThresholdReuses == 0 {
+		t.Fatalf("identical matched scores must reuse the threshold fit: %+v", ts)
+	}
+	recs, _ := eng.Runs(1, 0)
+	if len(recs) != 1 || recs[0].TailFullRebuild ||
+		recs[0].TailReusedPrefix != int64(len(res.Matched)) {
+		t.Fatalf("journal tail fields wrong: %+v", recs[0])
+	}
+
+	// A panicked run may have consumed per-shard deltas before dying, so
+	// the tail's synced state is unknown; the recovery run must force a
+	// full tail rebuild and still publish the exact links.
+	if err := eng.AddE(w.E.Records[8:16]...); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(FaultRelink, fault.Rule{Panic: "injected relink", Count: 1})
+	eng.Run() // contained failure: previous result republished
+	rec := eng.Run()
+	requireBitIdenticalLinks(t, "post-panic recovery", rec.Links, base.Links)
+	ts = eng.Stats().PublishTail
+	if ts == nil || !ts.LastFull {
+		t.Fatalf("recovery run must full-rebuild the tail: %+v", ts)
+	}
+	recs, _ = eng.Runs(1, 0)
+	if len(recs) != 1 || !recs[0].TailFullRebuild {
+		t.Fatalf("recovery journal record must flag the tail rebuild: %+v", recs[0])
+	}
+}

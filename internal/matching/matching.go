@@ -7,6 +7,7 @@ package matching
 import (
 	"math"
 	"slices"
+	"sync"
 
 	"slim/internal/model"
 )
@@ -26,39 +27,7 @@ type Edge struct {
 // weight.
 func Greedy(edges []Edge) []Edge {
 	sorted := append([]Edge(nil), edges...)
-	slices.SortFunc(sorted, func(a, b Edge) int {
-		if a.W != b.W {
-			if a.W > b.W {
-				return -1
-			}
-			return 1
-		}
-		if a.U != b.U {
-			if a.U < b.U {
-				return -1
-			}
-			return 1
-		}
-		if a.V < b.V {
-			return -1
-		}
-		if a.V > b.V {
-			return 1
-		}
-		return 0
-	})
-	usedU := make(map[model.EntityID]bool)
-	usedV := make(map[model.EntityID]bool)
-	var out []Edge
-	for _, e := range sorted {
-		if usedU[e.U] || usedV[e.V] {
-			continue
-		}
-		usedU[e.U] = true
-		usedV[e.V] = true
-		out = append(out, e)
-	}
-	return out
+	return GreedyInPlace(sorted)
 }
 
 // FilterThreshold returns the edges with weight strictly above thr,
@@ -82,19 +51,41 @@ func TotalWeight(edges []Edge) float64 {
 	return s
 }
 
+// validScratch pools the id scratch slices of Valid so parity gates can
+// call it in hot loops without per-call allocations.
+var validScratch = sync.Pool{New: func() any { return new([]model.EntityID) }}
+
 // Valid reports whether the edge set is a matching: no entity appears on
-// more than one edge (per side).
+// more than one edge (per side). Allocation-free: duplicate detection is
+// sort + adjacent-scan over a pooled scratch slice rather than map
+// membership.
 func Valid(edges []Edge) bool {
-	seenU := make(map[model.EntityID]bool)
-	seenV := make(map[model.EntityID]bool)
-	for _, e := range edges {
-		if seenU[e.U] || seenV[e.V] {
-			return false
-		}
-		seenU[e.U] = true
-		seenV[e.V] = true
+	if len(edges) < 2 {
+		return true
 	}
-	return true
+	p := validScratch.Get().(*[]model.EntityID)
+	ids := (*p)[:0]
+	ok := true
+	for side := 0; side < 2 && ok; side++ {
+		ids = ids[:0]
+		for _, e := range edges {
+			if side == 0 {
+				ids = append(ids, e.U)
+			} else {
+				ids = append(ids, e.V)
+			}
+		}
+		slices.Sort(ids)
+		for i := 1; i < len(ids); i++ {
+			if ids[i] == ids[i-1] {
+				ok = false
+				break
+			}
+		}
+	}
+	*p = ids
+	validScratch.Put(p)
+	return ok
 }
 
 // Hungarian computes an exact maximum-weight bipartite matching using the

@@ -107,7 +107,11 @@ type runRecordJSON struct {
 	Dropped        int64              `json:"dropped"`
 	CandidatePairs int64              `json:"candidate_pairs"`
 	Links          int64              `json:"links"`
-	Stages         stageDurationsJSON `json:"stages"`
+	// TailReusedPrefix / TailFullRebuild describe the publish tail's work
+	// for this run (zero / false on the from-scratch Hungarian path).
+	TailReusedPrefix int64              `json:"tail_reused_prefix"`
+	TailFullRebuild  bool               `json:"tail_full_rebuild"`
+	Stages           stageDurationsJSON `json:"stages"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -127,8 +131,10 @@ func toRunRecordJSON(r engine.RunRecord) runRecordJSON {
 		Rescored:       r.Rescored,
 		Retained:       r.Retained,
 		Dropped:        r.Dropped,
-		CandidatePairs: r.CandidatePairs,
-		Links:          r.Links,
+		CandidatePairs:   r.CandidatePairs,
+		Links:            r.Links,
+		TailReusedPrefix: r.TailReusedPrefix,
+		TailFullRebuild:  r.TailFullRebuild,
 		Stages: stageDurationsJSON{
 			ApplyMs:          ms(r.ApplyDur),
 			CandidateIndexMs: ms(r.IndexDur),

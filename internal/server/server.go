@@ -735,6 +735,27 @@ type edgeStoreJSON struct {
 	ResidentBytes   int64   `json:"resident_bytes"`
 }
 
+// publishTailJSON is the wire form of the incremental publish-tail
+// statistics: edges/matched describe the maintained state,
+// reused_prefix_len / suffix_walked / last_full_rebuild the latest
+// publish, and the *_total counters accumulate since boot (see
+// slim.PublishTailStats). Omitted with the Hungarian matcher or before
+// the first published run.
+type publishTailJSON struct {
+	Edges                int64   `json:"edges"`
+	Matched              int64   `json:"matched"`
+	ReusedPrefixLen      int64   `json:"reused_prefix_len"`
+	SuffixWalked         int64   `json:"suffix_walked"`
+	FullRebuildsTotal    uint64  `json:"full_rebuilds_total"`
+	AppliesTotal         uint64  `json:"applies_total"`
+	ThresholdFitsTotal   uint64  `json:"threshold_fits_total"`
+	ThresholdReusesTotal uint64  `json:"threshold_reuses_total"`
+	LastFullRebuild      bool    `json:"last_full_rebuild"`
+	LastUpdateMs         float64 `json:"last_update_ms"`
+	LastMatchMs          float64 `json:"last_match_ms"`
+	LastThresholdMs      float64 `json:"last_threshold_ms"`
+}
+
 // runJournalJSON summarizes the relink flight recorder on /v1/stats
 // (page through the entries themselves on /v1/runs).
 type runJournalJSON struct {
@@ -770,6 +791,7 @@ type statsResponse struct {
 	Threshold      float64             `json:"threshold"`
 	CandidateIndex *candidateIndexJSON `json:"candidate_index,omitempty"`
 	EdgeStore      *edgeStoreJSON      `json:"edge_store,omitempty"`
+	PublishTail    *publishTailJSON    `json:"publish_tail,omitempty"`
 	RunJournal     *runJournalJSON     `json:"run_journal,omitempty"`
 	Storage        *storageStatsJSON   `json:"storage,omitempty"`
 	Ingest         *ingestStatsJSON    `json:"ingest,omitempty"`
@@ -847,6 +869,22 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 			RescoredTotal:   st.EdgeRescoredTotal,
 			DroppedTotal:    st.EdgeDroppedTotal,
 			ResidentBytes:   es.ResidentBytes,
+		}
+	}
+	if pt := st.PublishTail; pt != nil {
+		resp.PublishTail = &publishTailJSON{
+			Edges:                pt.Edges,
+			Matched:              pt.Matched,
+			ReusedPrefixLen:      pt.ReusedPrefixLen,
+			SuffixWalked:         pt.SuffixWalked,
+			FullRebuildsTotal:    pt.FullRebuilds,
+			AppliesTotal:         pt.Applies,
+			ThresholdFitsTotal:   pt.ThresholdFits,
+			ThresholdReusesTotal: pt.ThresholdReuses,
+			LastFullRebuild:      pt.LastFull,
+			LastUpdateMs:         float64(pt.LastUpdate.Microseconds()) / 1000,
+			LastMatchMs:          float64(pt.LastMatch.Microseconds()) / 1000,
+			LastThresholdMs:      float64(pt.LastThreshold.Microseconds()) / 1000,
 		}
 	}
 	_, totalRuns := s.eng.Runs(1, 0)

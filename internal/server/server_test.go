@@ -106,6 +106,10 @@ func TestServerIngestLinkQuery(t *testing.T) {
 		PendingRecords int `json:"pending_records"`
 		DirtyShards    int `json:"dirty_shards"`
 		IngestedE      int `json:"ingested_e"`
+		PublishTail    *struct {
+			Matched      int64  `json:"matched"`
+			FullRebuilds uint64 `json:"full_rebuilds_total"`
+		} `json:"publish_tail"`
 	}
 	getJSON(t, ts.URL+"/v1/stats", &stats)
 	if stats.IngestedE != len(w.E.Records) {
@@ -187,6 +191,11 @@ func TestServerIngestLinkQuery(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/stats", &stats)
 	if stats.PendingRecords != 0 || stats.DirtyShards != 0 {
 		t.Errorf("stats after run not clean: %+v", stats)
+	}
+	if stats.PublishTail == nil || stats.PublishTail.FullRebuilds == 0 ||
+		stats.PublishTail.Matched != int64(run.Matched) {
+		t.Errorf("publish_tail block missing or inconsistent: %+v (matched %d)",
+			stats.PublishTail, run.Matched)
 	}
 }
 

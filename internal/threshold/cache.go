@@ -1,0 +1,63 @@
+package threshold
+
+import "math"
+
+// CacheStats counts how often a Cache had to run the underlying fit vs
+// how often it reused the previous result.
+type CacheStats struct {
+	Fits   uint64
+	Reuses uint64
+}
+
+// Cache memoizes the most recent threshold fit, keyed on the exact score
+// sequence. Scores are compared via math.Float64bits, so reuse happens
+// only when the input is bit-identical to the previous call — the
+// returned Result is then byte-for-byte the same decision, which keeps
+// cached selection bit-compatible with always refitting. Callers pass the
+// matched score list in its published (descending-sorted) order, making
+// sequence equality equivalent to multiset equality.
+//
+// The zero value is ready to use; not safe for concurrent use. The cached
+// Result (including its *GMM model) is shared across calls and must be
+// treated as read-only.
+type Cache struct {
+	key    []uint64
+	result Result
+	valid  bool
+
+	fits, reuses uint64
+}
+
+// Select returns the threshold decision for scores, calling fit only when
+// the score sequence differs bitwise from the previous call.
+func (c *Cache) Select(scores []float64, fit func([]float64) Result) Result {
+	if c.valid && len(scores) == len(c.key) {
+		same := true
+		for i, s := range scores {
+			if math.Float64bits(s) != c.key[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			c.reuses++
+			return c.result
+		}
+	}
+	r := fit(scores)
+	c.key = c.key[:0]
+	for _, s := range scores {
+		c.key = append(c.key, math.Float64bits(s))
+	}
+	c.result = r
+	c.valid = true
+	c.fits++
+	return r
+}
+
+// Invalidate drops the cached fit (e.g. when the selection method
+// changes), forcing the next Select to refit.
+func (c *Cache) Invalidate() { c.valid = false }
+
+// Stats returns fit/reuse counts since the cache was created.
+func (c *Cache) Stats() CacheStats { return CacheStats{Fits: c.fits, Reuses: c.reuses} }

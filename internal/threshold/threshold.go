@@ -13,7 +13,7 @@ package threshold
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"slim/internal/mathx"
 )
@@ -254,6 +254,6 @@ func Histogram(values []float64, bins int) (edges []float64, counts []int) {
 // SortedCopy returns a sorted copy of xs (ascending); helper for reports.
 func SortedCopy(xs []float64) []float64 {
 	out := append([]float64(nil), xs...)
-	sort.Float64s(out)
+	slices.Sort(out)
 	return out
 }

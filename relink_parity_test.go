@@ -2,17 +2,36 @@ package slim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"testing"
 )
 
+// sameLinksBits reports whether two link lists are bit-identical:
+// same pairs in the same order with Float64bits-equal scores.
+func sameLinksBits(a, b []Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].U != b[i].U || a[i].V != b[i].V ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
 // requireSameResult asserts two Run results are bit-identical in
-// everything the edge store is responsible for: the retained/rescored
-// edge set (via Matched, which is the full positive-edge matching), the
-// published links, and the thresholding derived from them. Work counters
-// (bin/record comparisons) are deliberately excluded — saving that work
-// is the whole point of the incremental path.
+// everything the edge store and publish tail are responsible for: the
+// retained/rescored edge set (via Matched, which is the full
+// positive-edge matching), the published links, and the thresholding
+// derived from them — scores and threshold compared via Float64bits, so
+// even a last-ulp divergence between the incremental and from-scratch
+// pipelines fails. Work counters (bin/record comparisons) are
+// deliberately excluded — saving that work is the whole point of the
+// incremental path.
 func requireSameResult(t *testing.T, step string, got, want Result) {
 	t.Helper()
 	if got.Stats.CandidatePairs != want.Stats.CandidatePairs {
@@ -21,14 +40,14 @@ func requireSameResult(t *testing.T, step string, got, want Result) {
 	if got.Stats.PositiveEdges != want.Stats.PositiveEdges {
 		t.Fatalf("%s: positive edges %d, want %d", step, got.Stats.PositiveEdges, want.Stats.PositiveEdges)
 	}
-	if !slices.Equal(got.Matched, want.Matched) {
+	if !sameLinksBits(got.Matched, want.Matched) {
 		t.Fatalf("%s: matched links diverged (%d vs %d)", step, len(got.Matched), len(want.Matched))
 	}
-	if got.Threshold != want.Threshold || got.ThresholdMethod != want.ThresholdMethod {
+	if math.Float64bits(got.Threshold) != math.Float64bits(want.Threshold) || got.ThresholdMethod != want.ThresholdMethod {
 		t.Fatalf("%s: threshold %g (%s), want %g (%s)",
 			step, got.Threshold, got.ThresholdMethod, want.Threshold, want.ThresholdMethod)
 	}
-	if !slices.Equal(got.Links, want.Links) {
+	if !sameLinksBits(got.Links, want.Links) {
 		t.Fatalf("%s: links diverged (%d vs %d)", step, len(got.Links), len(want.Links))
 	}
 }
@@ -84,7 +103,11 @@ func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
 				// (records duplicated into existing bins: the only churn that
 				// leaves both IDF epochs untouched), 1 = new cells inside the
 				// time range, 2/3 = range growth right/left, 4 = brand-new
-				// entity pair.
+				// entity pair. (Score changes without an epoch move cannot be
+				// provoked from ingest — scores are pure functions of bin
+				// sets, and any bin-set change moves an IDF epoch — so the
+				// publish tail's partial-reuse path is covered by the
+				// synthetic-delta parity suite in tail_test.go instead.)
 				mutate := func(kind int) {
 					switch kind {
 					case 0:
@@ -130,6 +153,7 @@ func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
 				}
 
 				sawDelta, sawFull := false, false
+				sawTailReuse := false
 				kinds := []int{0, 0, 2, 0, 1, 3, 4, 0}
 				for burst, kind := range kinds {
 					mutate(kind)
@@ -154,6 +178,10 @@ func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
 								burst, es.Rescored, es.Retained, got.Stats.CandidatePairs)
 						}
 					}
+					if ts := inc.PublishTailStats(); ts != nil &&
+						!ts.LastFull && ts.ReusedPrefixLen > 0 {
+						sawTailReuse = true
+					}
 					fresh, err := NewShardLinker(
 						Dataset{Name: "E", Records: unionE},
 						Dataset{Name: "I", Records: unionI},
@@ -166,6 +194,9 @@ func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
 				}
 				if !sawDelta || !sawFull {
 					t.Fatalf("workload must exercise both paths: delta=%v full=%v", sawDelta, sawFull)
+				}
+				if !sawTailReuse {
+					t.Fatal("no delta burst reused the tail's matched prefix")
 				}
 
 				// SetTotalEntitiesE moves the E-side IDF epoch: the next run
@@ -188,13 +219,29 @@ func TestRelinkParityIncrementalVsFromScratch(t *testing.T) {
 				fresh.SetTotalEntitiesE(total)
 				requireSameResult(t, "idf-total override", got, fresh.Run())
 
-				// A run with no ingest at all retains everything.
+				// A run with no ingest at all retains everything — and the
+				// publish tail must reuse the entire matched prefix and the
+				// cached threshold fit rather than redoing either.
 				clean := inc.Run()
 				es := clean.Stats.EdgeStore
 				if es.Rescored != 0 || es.FullRescore || es.Retained != clean.Stats.CandidatePairs {
 					t.Fatalf("clean run rescored work: %+v", es)
 				}
 				requireSameResult(t, "clean rerun", clean, got)
+				ts := inc.PublishTailStats()
+				if ts == nil {
+					t.Fatal("greedy runs must maintain a publish tail")
+				}
+				if ts.Applies == 0 || ts.FullRebuilds == 0 {
+					t.Fatalf("workload must exercise both tail paths: %+v", ts)
+				}
+				if int(ts.ReusedPrefixLen) != len(clean.Matched) || ts.SuffixWalked != 0 {
+					t.Fatalf("clean rerun must reuse the whole matched prefix: %+v (matched %d)",
+						ts, len(clean.Matched))
+				}
+				if ts.ThresholdReuses == 0 {
+					t.Fatalf("clean rerun must reuse the cached threshold fit: %+v", ts)
+				}
 			})
 		}
 	}

@@ -109,6 +109,12 @@ slim_go_gc_pause_total_seconds
 slim_edge_store_pairs
 slim_edge_store_resident_bytes
 slim_run_journal_records
+slim_publish_tail_edges
+slim_publish_tail_reused_prefix_len
+slim_publish_tail_suffix_walked
+slim_publish_tail_full_rebuilds_total
+slim_publish_tail_applies_total
+slim_threshold_fit_total
 '
 missing=0
 for name in $required; do

@@ -124,6 +124,14 @@ type Linker struct {
 	// own runs.
 	nextRunSeq    uint64
 	nextRunSeqSet bool
+	// tail is the incremental publish tail Run maintains for the greedy
+	// matcher (lazily built; Hungarian keeps the from-scratch path).
+	// tailSynced is the edge-store update counter the tail last consumed,
+	// so a RunEdges driven outside Run (whose delta the tail never saw)
+	// degrades the next Run to a full tail rebuild instead of silently
+	// publishing from a stale maintained order.
+	tail       *PublishTail
+	tailSynced uint64
 	// prevStats snapshots the scorer counters so repeated Run calls report
 	// per-run work.
 	prevStats similarity.Stats
@@ -684,13 +692,37 @@ func (lk *Linker) EdgeStoreStats() *EdgeStoreStats {
 // Run executes scoring, matching and thresholding and returns the result.
 // It can be called repeatedly, interleaved with AddE/AddI, to re-link a
 // dynamic feed; stats report per-run work.
+//
+// With the greedy matcher (the default), matching and thresholding go
+// through an incremental publish tail fed by the edge store's exact
+// per-run delta: the maintained sorted order, greedy matching and
+// threshold fit are updated in O(delta log n) and are bit-identical to
+// the from-scratch MatchLinks/SelectStopThreshold/FilterLinks path (see
+// tail.go). Hungarian runs keep the from-scratch path.
 func (lk *Linker) Run() Result {
 	start := time.Now()
 	edges, stats := lk.RunEdges()
-	matched := MatchLinks(lk.cfg.Matcher, edges)
-	thr := SelectStopThreshold(lk.cfg.Threshold, LinkScores(matched))
+	var matched, links []Link
+	var thr StopThreshold
+	if lk.cfg.Matcher == MatcherHungarian {
+		matched = MatchLinks(lk.cfg.Matcher, edges)
+		thr = SelectStopThreshold(lk.cfg.Threshold, LinkScores(matched))
+		links = FilterLinks(matched, thr.Threshold)
+	} else {
+		if lk.tail == nil {
+			lk.tail = NewPublishTail(lk.cfg.Threshold)
+		}
+		d := lk.edges.delta()
+		if d.Seq != lk.tailSynced+1 {
+			// The tail missed an update (RunEdges driven directly between
+			// Runs); its maintained order is stale.
+			d.Full = true
+		}
+		matched, links, thr = lk.tail.Publish([]EdgeDelta{d}, func() []Link { return edges })
+		lk.tailSynced = d.Seq
+	}
 	return Result{
-		Links:           FilterLinks(matched, thr.Threshold),
+		Links:           links,
 		Matched:         matched,
 		Threshold:       thr.Threshold,
 		ThresholdMethod: thr.Method,
@@ -699,6 +731,23 @@ func (lk *Linker) Run() Result {
 		Elapsed:         time.Since(start),
 	}
 }
+
+// PublishTailStats returns the incremental publish tail snapshot, or nil
+// before the first greedy Run (Hungarian linkers never build a tail).
+// Not safe concurrently with Run or Add.
+func (lk *Linker) PublishTailStats() *PublishTailStats {
+	if lk.tail == nil {
+		return nil
+	}
+	st := lk.tail.Stats()
+	return &st
+}
+
+// LastEdgeDelta returns the edge-level delta of the most recent RunEdges,
+// for feeding an externally owned PublishTail (partitioned engines merge
+// one tail across shards). The slices alias the store's reused buffers —
+// valid only until the next run.
+func (lk *Linker) LastEdgeDelta() EdgeDelta { return lk.edges.delta() }
 
 // StopThreshold is the outcome of a stop-threshold detection.
 type StopThreshold struct {
@@ -709,39 +758,56 @@ type StopThreshold struct {
 	Method string
 }
 
+// matchEdgeBuf pools the Link→matching.Edge conversion buffer of
+// MatchLinks, so the only per-call allocation left on the matching path
+// is the returned link slice (which callers retain).
+var matchEdgeBuf = sync.Pool{New: func() any { return new([]matching.Edge) }}
+
 // MatchLinks runs the configured bipartite matcher over positive scored
 // edges and returns the maximum-sum matching, sorted by descending score.
 func MatchLinks(matcher MatcherKind, edges []Link) []Link {
-	in := make([]matching.Edge, len(edges))
-	for i, e := range edges {
-		in[i] = matching.Edge{U: e.U, V: e.V, W: e.Score}
+	bp := matchEdgeBuf.Get().(*[]matching.Edge)
+	in := (*bp)[:0]
+	for _, e := range edges {
+		in = append(in, matching.Edge{U: e.U, V: e.V, W: e.Score})
 	}
 	var matched []matching.Edge
 	switch matcher {
 	case MatcherHungarian:
 		matched = matching.Hungarian(in)
 	default:
-		matched = matching.Greedy(in)
+		// The buffer is scratch, so the greedy matcher may sort it in
+		// place instead of taking a defensive copy.
+		matched = matching.GreedyInPlace(in)
 	}
-	return toLinks(matched)
+	out := toLinks(matched)
+	*bp = in
+	matchEdgeBuf.Put(bp)
+	return out
+}
+
+// selectThresholdResult runs the configured stop-threshold detector and
+// returns the full decision (shared by SelectStopThreshold and the
+// publish tail's fit cache).
+func selectThresholdResult(method ThresholdMethod, scores []float64) threshold.Result {
+	switch method {
+	case ThresholdNone:
+		// Keep every matched edge: edges only exist for positive scores,
+		// so any negative threshold is a no-op filter.
+		return threshold.Result{Threshold: -1, Method: "none"}
+	case ThresholdOtsu:
+		return threshold.SelectThresholdOtsu(scores)
+	case ThresholdKMeans:
+		return threshold.SelectThresholdKMeans(scores)
+	default:
+		return threshold.SelectThreshold(scores)
+	}
 }
 
 // SelectStopThreshold applies the given stop-threshold detector to the
 // matched scores (Sec. 3.2 of the paper).
 func SelectStopThreshold(method ThresholdMethod, scores []float64) StopThreshold {
-	var thr threshold.Result
-	switch method {
-	case ThresholdNone:
-		// Keep every matched edge: edges only exist for positive scores,
-		// so any negative threshold is a no-op filter.
-		thr = threshold.Result{Threshold: -1, Method: "none"}
-	case ThresholdOtsu:
-		thr = threshold.SelectThresholdOtsu(scores)
-	case ThresholdKMeans:
-		thr = threshold.SelectThresholdKMeans(scores)
-	default:
-		thr = threshold.SelectThreshold(scores)
-	}
+	thr := selectThresholdResult(method, scores)
 	return StopThreshold{Threshold: thr.Threshold, Method: string(thr.Method)}
 }
 

@@ -1,0 +1,213 @@
+package slim
+
+import (
+	"sort"
+	"time"
+
+	"slim/internal/matching"
+	"slim/internal/threshold"
+)
+
+// EdgeDelta describes one edge-store update at the granularity the
+// incremental publish tail consumes: the edges that entered the store or
+// changed score (with their fresh scores) and the edges that left it
+// (with the scores they held — a score change contributes one of each).
+type EdgeDelta struct {
+	// Full marks an update that was a full rescore (epoch rebuild) or is
+	// otherwise not describable incrementally; the tail must rebuild from
+	// the complete edge set.
+	Full bool
+	// Seq is the producing edge store's update counter, letting a consumer
+	// detect that it missed an intermediate update (and must treat the
+	// delta as Full).
+	Seq uint64
+	// Changed and Removed may alias the producer's reused buffers; they
+	// are only valid until that store's next update.
+	Changed []Link
+	Removed []Link
+}
+
+// PublishTailStats reports the incremental publish tail's state and the
+// work profile of its most recent Publish. The headline is
+// ReusedPrefixLen vs SuffixWalked: reused matched links were adopted from
+// the previous run without re-examining any edge above the first changed
+// position, and ThresholdReuses counts runs that skipped the GMM refit
+// entirely because the matched score list was bit-unchanged.
+type PublishTailStats struct {
+	// Edges is the size of the maintained sorted edge list; Matched the
+	// size of the current matching.
+	Edges   int64
+	Matched int64
+	// ReusedPrefixLen / SuffixWalked describe the last matcher update:
+	// matched links reused verbatim, and sorted-order entries re-walked
+	// below the first changed position.
+	ReusedPrefixLen int64
+	SuffixWalked    int64
+	// FullRebuilds counts full sort+walk rebuilds (first build, epoch
+	// invalidations, missed deltas); Applies counts delta updates.
+	FullRebuilds uint64
+	Applies      uint64
+	// ThresholdFits / ThresholdReuses count threshold selections that ran
+	// the detector vs reused the cached fit (bit-identical score list).
+	ThresholdFits   uint64
+	ThresholdReuses uint64
+	// LastFull reports whether the last Publish was a full rebuild.
+	LastFull bool
+	// LastUpdate is the wall-clock duration of the last Publish;
+	// LastMatch and LastThreshold split out the matching and threshold
+	// stages (LastUpdate additionally covers delta conversion and link
+	// materialization).
+	LastUpdate    time.Duration
+	LastMatch     time.Duration
+	LastThreshold time.Duration
+}
+
+// PublishTail maintains the merge→match→threshold pipeline of a linkage
+// across runs, turning the publish tail from O(n log n) per run into
+// O(delta log n): a globally sorted edge list updated by splice, a
+// prefix-reusing greedy matcher (see matching.Incremental), and a
+// threshold fit cache keyed on the matched score list (see
+// threshold.Cache). Its published output is bit-identical to the
+// from-scratch MatchLinks → SelectStopThreshold → FilterLinks pipeline
+// over the same edge set.
+//
+// The tail only supports the greedy matcher — Hungarian has no prefix
+// structure to reuse — and callers keep using the from-scratch path for
+// it. Not safe for concurrent use.
+type PublishTail struct {
+	method ThresholdMethod
+	fit    func([]float64) threshold.Result
+	m      matching.Incremental
+	thr    threshold.Cache
+
+	// Pooled conversion buffers: Link→matching.Edge for deltas and full
+	// rebuilds, and the matched score column. They make the steady-state
+	// Publish allocate only the returned matched slice (which callers
+	// retain), and not even that when the matching is unchanged.
+	removeBuf, insertBuf []matching.Edge
+	edgesBuf             []matching.Edge
+	scoresBuf            []float64
+	// lastMatched is the previous Publish's returned matching; its prefix
+	// is reused verbatim instead of reconverting reused matched edges.
+	lastMatched []Link
+
+	lastFull                             bool
+	lastUpdate, lastMatch, lastThreshold time.Duration
+}
+
+// NewPublishTail returns a tail publishing with the given stop-threshold
+// method (greedy matching is implied).
+func NewPublishTail(method ThresholdMethod) *PublishTail {
+	return &PublishTail{
+		method: method,
+		fit: func(scores []float64) threshold.Result {
+			return selectThresholdResult(method, scores)
+		},
+	}
+}
+
+// Publish folds the given edge-store deltas into the maintained pipeline
+// and returns the updated matching (descending score), the links above
+// the selected stop threshold, and the threshold decision. all is called
+// only when a full rebuild is needed (any delta marked Full, a missed
+// update, or the first Publish) and must return the complete current edge
+// set. Deltas from different producers must be pair-disjoint (true for
+// partition shards). The returned matched/links slices are immutable;
+// links aliases a prefix of matched.
+func (t *PublishTail) Publish(deltas []EdgeDelta, all func() []Link) (matched, links []Link, thr StopThreshold) {
+	start := time.Now()
+	full := !t.built()
+	for _, d := range deltas {
+		if d.Full {
+			full = true
+			break
+		}
+	}
+	var me []matching.Edge
+	if !full {
+		t.removeBuf = t.removeBuf[:0]
+		t.insertBuf = t.insertBuf[:0]
+		for _, d := range deltas {
+			for _, l := range d.Removed {
+				t.removeBuf = append(t.removeBuf, matching.Edge{U: l.U, V: l.V, W: l.Score})
+			}
+			for _, l := range d.Changed {
+				t.insertBuf = append(t.insertBuf, matching.Edge{U: l.U, V: l.V, W: l.Score})
+			}
+		}
+		var ok bool
+		me, ok = t.m.Apply(t.removeBuf, t.insertBuf)
+		// An inconsistent delta (producer out of sync) degrades to a full
+		// rebuild rather than failing: exactness first, speed second.
+		full = !ok
+	}
+	if full {
+		t.edgesBuf = t.edgesBuf[:0]
+		for _, l := range all() {
+			t.edgesBuf = append(t.edgesBuf, matching.Edge{U: l.U, V: l.V, W: l.Score})
+		}
+		me = t.m.Rebuild(t.edgesBuf)
+	}
+	t.lastMatch = time.Since(start)
+
+	// Materialize the matching, reusing the reused prefix's Link values
+	// verbatim (and the whole previous slice when nothing changed).
+	ms := t.m.Stats()
+	reused := min(ms.ReusedPrefix, len(t.lastMatched))
+	if reused == len(me) && len(t.lastMatched) == len(me) {
+		matched = t.lastMatched
+	} else {
+		matched = make([]Link, len(me))
+		copy(matched, t.lastMatched[:reused])
+		for i := reused; i < len(me); i++ {
+			matched[i] = Link{U: me[i].U, V: me[i].V, Score: me[i].W}
+		}
+	}
+	t.lastMatched = matched
+
+	thrStart := time.Now()
+	t.scoresBuf = t.scoresBuf[:0]
+	for _, l := range matched {
+		t.scoresBuf = append(t.scoresBuf, l.Score)
+	}
+	r := t.thr.Select(t.scoresBuf, t.fit)
+	thr = StopThreshold{Threshold: r.Threshold, Method: string(r.Method)}
+	t.lastThreshold = time.Since(thrStart)
+
+	// matched is in greedy order — descending score — so the links above
+	// the threshold are exactly a prefix; nil when empty, matching
+	// FilterLinks.
+	k := sort.Search(len(matched), func(i int) bool { return !(matched[i].Score > thr.Threshold) })
+	if k > 0 {
+		links = matched[:k:k]
+	}
+	t.lastFull = full
+	t.lastUpdate = time.Since(start)
+	return matched, links, thr
+}
+
+// built reports whether the tail has published at least once (the matcher
+// holds a maintained order).
+func (t *PublishTail) built() bool {
+	return t.m.Stats().Rebuilds > 0
+}
+
+// Stats returns the tail's state and last-Publish work profile.
+func (t *PublishTail) Stats() PublishTailStats {
+	ms := t.m.Stats()
+	cs := t.thr.Stats()
+	return PublishTailStats{
+		Edges:           int64(ms.Edges),
+		Matched:         int64(ms.Matched),
+		ReusedPrefixLen: int64(ms.ReusedPrefix),
+		SuffixWalked:    int64(ms.SuffixWalked),
+		FullRebuilds:    ms.Rebuilds,
+		Applies:         ms.Applies,
+		ThresholdFits:   cs.Fits,
+		ThresholdReuses: cs.Reuses,
+		LastFull:        t.lastFull,
+		LastUpdate:      t.lastUpdate,
+		LastMatch:       t.lastMatch,
+		LastThreshold:   t.lastThreshold,
+	}
+}
